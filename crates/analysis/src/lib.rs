@@ -1,0 +1,32 @@
+//! Empirical validation of the paper's proof machinery.
+//!
+//! The theorems in "Balanced Allocations and Double Hashing" rest on four
+//! mechanisms, each of which this crate makes directly observable:
+//!
+//! * [`majorization`] — the coupling of Theorem 2: a 2-random-choice
+//!   process stochastically majorizes the d-choice double-hashing process.
+//!   We run the *exact coupled pair* from the proof and check majorization
+//!   holds at every step.
+//! * [`ancestry`] — the ancestry lists of Lemmas 5–7: their size stays
+//!   `O(log n)` and the lists of a ball's d choices are disjoint with
+//!   probability `1 − O(d² log² n / n)`.
+//! * [`branching`] — the dominating Galton–Watson process of Lemma 6,
+//!   with `E[B_{Tn}] ≤ e^{T·d(d−1)}`.
+//! * [`pairwise`] — the pairwise-uniformity property stated in the
+//!   introduction (the only property of double hashing the fluid-limit
+//!   argument needs), measured for any [`ba_hash::ChoiceScheme`].
+//! * [`witness`] — the Section 2.2 observation: under adversarial load
+//!   placement, the fraction of `(f, g)` pairs whose probes all land in
+//!   loaded bins can far exceed the independent-choice value `α^d`.
+//! * [`witness_tree`] — construction of the actual witness trees the
+//!   Section 2.2 argument counts, from recorded histories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ancestry;
+pub mod branching;
+pub mod majorization;
+pub mod pairwise;
+pub mod witness;
+pub mod witness_tree;

@@ -1,0 +1,237 @@
+//! The majorization coupling of Theorem 2.
+
+use ba_rng::Rng64;
+
+/// Returns whether sorted-descending `x` majorizes sorted-descending `y`:
+/// equal sums and every prefix sum of `x` at least that of `y`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or are not sorted descending.
+pub fn majorizes(x: &[u32], y: &[u32]) -> bool {
+    assert_eq!(x.len(), y.len(), "vectors must have equal length");
+    debug_assert!(x.windows(2).all(|w| w[0] >= w[1]), "x must be sorted desc");
+    debug_assert!(y.windows(2).all(|w| w[0] >= w[1]), "y must be sorted desc");
+    let mut px = 0u64;
+    let mut py = 0u64;
+    for (&a, &b) in x.iter().zip(y) {
+        px += a as u64;
+        py += b as u64;
+        if px < py {
+            return false;
+        }
+    }
+    px == py
+}
+
+/// A load vector maintained in sorted-descending order with an O(1)-ish
+/// "increment the element at sorted position p" operation.
+///
+/// Incrementing position `p` keeps sortedness by instead incrementing the
+/// *first* position holding the same value (the classic trick from
+/// majorization proofs: the incremented coordinate slides to the front of
+/// its value class).
+#[derive(Debug, Clone)]
+pub struct SortedLoads {
+    loads: Vec<u32>,
+}
+
+impl SortedLoads {
+    /// Creates `n` empty bins.
+    pub fn new(n: usize) -> Self {
+        Self {
+            loads: vec![0; n],
+        }
+    }
+
+    /// The loads, sorted descending.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Increments the load at sorted position `p`, preserving sortedness.
+    /// Returns the position actually incremented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= n`.
+    pub fn increment(&mut self, p: usize) -> usize {
+        let v = self.loads[p];
+        // Find the first index with value v (binary search on the
+        // descending vector: partition point where load > v).
+        let q = self.loads.partition_point(|&x| x > v);
+        debug_assert!(self.loads[q] == v && q <= p);
+        self.loads[q] += 1;
+        q
+    }
+
+    /// Total number of balls.
+    pub fn total(&self) -> u64 {
+        self.loads.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Maximum load.
+    pub fn max(&self) -> u32 {
+        self.loads.first().copied().unwrap_or(0)
+    }
+}
+
+/// Result of one coupled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CouplingOutcome {
+    /// Whether ~x(t) majorized ~y(t) after every ball.
+    pub majorized_throughout: bool,
+    /// Final maximum load of the 2-random-choice process X.
+    pub max_load_two_choice: u32,
+    /// Final maximum load of the d-choice double-hashing process Y.
+    pub max_load_double: u32,
+}
+
+/// Runs the exact coupling from the proof of Theorem 2 for `m` balls over
+/// `n` bins, and checks majorization after every placement.
+///
+/// Process X places each ball in the less loaded of the bins at two distinct
+/// uniform *sorted positions* `a < b`; process Y receives the double-hashing
+/// position sequence `a, b, 2b−a, 3b−2a, … (mod n)` (stride `b − a`) and
+/// places the ball in the least loaded of those `d` positions. Because
+/// position vectors are sorted descending, "least loaded, ties deepest"
+/// is simply the largest position index.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `n < 2`.
+pub fn run_coupled_processes<R: Rng64>(
+    n: usize,
+    m: u64,
+    d: usize,
+    rng: &mut R,
+) -> CouplingOutcome {
+    assert!(d >= 2, "coupling needs d >= 2");
+    assert!(n >= 2, "need at least two bins");
+    let mut x = SortedLoads::new(n);
+    let mut y = SortedLoads::new(n);
+    let mut majorized = true;
+    let mut probes = vec![0usize; d];
+    for _ in 0..m {
+        // Two distinct sorted positions a < b.
+        let (a, b) = {
+            let a = rng.gen_range(n as u64) as usize;
+            let mut b = rng.gen_range(n as u64 - 1) as usize;
+            if b >= a {
+                b += 1;
+            }
+            (a.min(b), a.max(b))
+        };
+        // X: the deeper position b is the (weakly) less-loaded bin.
+        x.increment(b);
+        // Y: arithmetic progression of positions with stride b - a.
+        let stride = b - a;
+        let mut pos = a;
+        for slot in probes.iter_mut() {
+            *slot = pos;
+            pos = (pos + stride) % n;
+        }
+        // Least loaded, ties to the deepest sorted position = max index.
+        let deepest = *probes.iter().max().expect("d >= 2");
+        y.increment(deepest);
+        if !majorizes(x.loads(), y.loads()) {
+            majorized = false;
+        }
+    }
+    CouplingOutcome {
+        majorized_throughout: majorized,
+        max_load_two_choice: x.max(),
+        max_load_double: y.max(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn majorizes_basic_cases() {
+        assert!(majorizes(&[3, 1, 0], &[2, 1, 1]));
+        assert!(majorizes(&[2, 1, 1], &[2, 1, 1]));
+        assert!(!majorizes(&[2, 1, 1], &[3, 1, 0]));
+        // Unequal sums never majorize.
+        assert!(!majorizes(&[3, 1, 1], &[2, 1, 1]));
+        assert!(!majorizes(&[2, 1], &[2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn majorizes_rejects_length_mismatch() {
+        majorizes(&[1, 0], &[1, 0, 0]);
+    }
+
+    #[test]
+    fn sorted_loads_increment_keeps_order() {
+        let mut s = SortedLoads::new(5);
+        for _ in 0..20 {
+            s.increment(4);
+            assert!(s.loads().windows(2).all(|w| w[0] >= w[1]), "{:?}", s.loads());
+        }
+        assert_eq!(s.total(), 20);
+    }
+
+    #[test]
+    fn sorted_loads_increment_targets_value_class_head() {
+        let mut s = SortedLoads::new(4);
+        // loads [0,0,0,0]: incrementing position 3 must bump position 0.
+        assert_eq!(s.increment(3), 0);
+        assert_eq!(s.loads(), &[1, 0, 0, 0]);
+        // loads [1,0,0,0]: incrementing position 2 bumps position 1.
+        assert_eq!(s.increment(2), 1);
+        assert_eq!(s.loads(), &[1, 1, 0, 0]);
+        // incrementing position 0 bumps position 0 itself.
+        assert_eq!(s.increment(0), 0);
+        assert_eq!(s.loads(), &[2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn coupling_maintains_majorization() {
+        // Theorem 2, checked step-by-step across several sizes and d.
+        for (n, d, seed) in [(64usize, 3usize, 1u64), (128, 4, 2), (256, 5, 3)] {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let out = run_coupled_processes(n, n as u64, d, &mut rng);
+            assert!(
+                out.majorized_throughout,
+                "majorization violated for n={n}, d={d}"
+            );
+            // Corollary: the coupled Y max load never exceeds X's.
+            assert!(out.max_load_double <= out.max_load_two_choice);
+        }
+    }
+
+    #[test]
+    fn coupling_heavy_load() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let out = run_coupled_processes(64, 64 * 8, 3, &mut rng);
+        assert!(out.majorized_throughout);
+        assert!(out.max_load_double <= out.max_load_two_choice);
+        assert!(out.max_load_double >= 8, "mean load is 8");
+    }
+
+    #[test]
+    fn ball_conservation_in_coupling() {
+        let n = 32;
+        let mut x = SortedLoads::new(n);
+        let mut y = SortedLoads::new(n);
+        // run_coupled_processes hides the internals; sanity check the
+        // building block instead: equal increments conserve equal totals.
+        for i in 0..100 {
+            x.increment(i % n);
+            y.increment((i * 7) % n);
+        }
+        assert_eq!(x.total(), y.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn coupling_rejects_d1() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        run_coupled_processes(8, 8, 1, &mut rng);
+    }
+}

@@ -1,0 +1,220 @@
+//! Empirical pairwise-uniformity measurement.
+//!
+//! The introduction of the paper isolates the property its whole analysis
+//! needs: for a ball's choices `h_1..h_d`, every position is marginally
+//! uniform and every ordered pair of positions is uniform over ordered
+//! pairs of distinct bins. This module measures both deviations for any
+//! scheme, so the harness can show double hashing has the property while,
+//! e.g., [`ba_hash::ContiguousBlocks`] does not.
+
+use ba_hash::ChoiceScheme;
+use ba_rng::Rng64;
+
+/// Measured deviations from pairwise uniformity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseReport {
+    /// Number of samples drawn.
+    pub samples: u64,
+    /// Max over positions i and bins b of |P̂(h_i = b) − 1/n|.
+    pub max_marginal_deviation: f64,
+    /// Max over position pairs (i, j), i ≠ j, and bin pairs (b1 ≠ b2) of
+    /// |P̂(h_i = b1, h_j = b2) − 1/(n(n−1))|.
+    pub max_pair_deviation: f64,
+    /// Fraction of samples where any two positions held the *same* bin
+    /// (exactly zero for schemes choosing without replacement).
+    pub collision_rate: f64,
+}
+
+impl PairwiseReport {
+    /// The sampling-noise scale for pair cells: the standard deviation of a
+    /// binomial estimate of a probability `p ≈ 1/(n(n−1))` over `samples`.
+    pub fn pair_noise_scale(&self, n: u64) -> f64 {
+        let p = 1.0 / (n as f64 * (n as f64 - 1.0));
+        (p * (1.0 - p) / self.samples as f64).sqrt()
+    }
+}
+
+/// Samples `samples` choice vectors from `scheme` and measures marginal and
+/// pairwise deviations from uniformity.
+///
+/// Memory is `O(d² n²)`, so keep `n` modest (≤ a few hundred) — deviations
+/// are properties of the scheme, not of `n`, and small `n` maximizes the
+/// per-cell resolution for a given sample budget.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the scheme has `d < 2`.
+#[allow(clippy::needless_range_loop)] // (i, j) position pairs are symmetric index math
+pub fn measure_pairwise<S: ChoiceScheme + ?Sized, R: Rng64>(
+    scheme: &S,
+    samples: u64,
+    rng: &mut R,
+) -> PairwiseReport {
+    assert!(samples > 0, "need at least one sample");
+    let n = scheme.n() as usize;
+    let d = scheme.d();
+    assert!(d >= 2, "pairwise measurement needs d >= 2");
+    // marginals[i][b], pairs[(i,j)][b1 * n + b2] for i < j (we fold (j,i)
+    // into the same table by recording both orders separately).
+    let mut marginals = vec![vec![0u64; n]; d];
+    let npairs = d * (d - 1);
+    let mut pair_index = vec![vec![0usize; d]; d];
+    {
+        let mut idx = 0;
+        for i in 0..d {
+            for j in 0..d {
+                if i != j {
+                    pair_index[i][j] = idx;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    let mut pairs = vec![vec![0u64; n * n]; npairs];
+    let mut collisions = 0u64;
+    let mut buf = vec![0u64; d];
+    for _ in 0..samples {
+        scheme.fill_choices(rng, &mut buf);
+        let mut collided = false;
+        for i in 0..d {
+            marginals[i][buf[i] as usize] += 1;
+            for j in 0..d {
+                if i == j {
+                    continue;
+                }
+                if buf[i] == buf[j] {
+                    collided = true;
+                }
+                pairs[pair_index[i][j]][buf[i] as usize * n + buf[j] as usize] += 1;
+            }
+        }
+        if collided {
+            collisions += 1;
+        }
+    }
+    let s = samples as f64;
+    let uniform1 = 1.0 / n as f64;
+    let mut max_marginal: f64 = 0.0;
+    for row in &marginals {
+        for &c in row {
+            max_marginal = max_marginal.max((c as f64 / s - uniform1).abs());
+        }
+    }
+    let uniform2 = 1.0 / (n as f64 * (n as f64 - 1.0));
+    let mut max_pair: f64 = 0.0;
+    for table in &pairs {
+        for b1 in 0..n {
+            for b2 in 0..n {
+                if b1 == b2 {
+                    continue;
+                }
+                let c = table[b1 * n + b2];
+                max_pair = max_pair.max((c as f64 / s - uniform2).abs());
+            }
+        }
+    }
+    PairwiseReport {
+        samples,
+        max_marginal_deviation: max_marginal,
+        max_pair_deviation: max_pair,
+        collision_rate: collisions as f64 / s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_hash::{ContiguousBlocks, DoubleHashing, FullyRandom, Replacement};
+    use ba_rng::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn double_hashing_prime_n_is_pairwise_uniform() {
+        // The intro's pairwise-uniformity property holds exactly when n is
+        // prime: the stride is uniform over all of [1, n), so the ordered
+        // pair (h_i, h_j) is uniform over ordered pairs of distinct bins.
+        let n = 17u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let samples = 2_000_000;
+        let report = measure_pairwise(&scheme, samples, &mut rng(1));
+        let noise = report.pair_noise_scale(n);
+        assert!(
+            report.max_pair_deviation < 6.0 * noise,
+            "pair deviation {} vs noise {noise}",
+            report.max_pair_deviation
+        );
+        assert!(report.max_marginal_deviation < 0.002);
+        assert_eq!(report.collision_rate, 0.0, "coprime stride never collides");
+    }
+
+    #[test]
+    fn double_hashing_power_of_two_has_parity_structure() {
+        // For n = 2^k the stride is odd, so h_j − h_i ≡ (j−i)·g is an odd
+        // multiple of (j−i): pairs at even offsets from each other are
+        // impossible for adjacent positions, and position pair (0, 2) only
+        // reaches differences ≡ 2 (mod 4), etc. Strict pairwise uniformity
+        // fails; the marginals stay perfectly uniform. (The paper's tables
+        // use power-of-two n; its *fluid-limit* argument never needs the
+        // exact pairwise property — only near-uniform pair hit rates, which
+        // footnote 5 handles via φ(n).)
+        let n = 16u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let report = measure_pairwise(&scheme, 500_000, &mut rng(5));
+        let uniform2 = 1.0 / (n as f64 * (n as f64 - 1.0));
+        assert!(
+            report.max_pair_deviation > 2.0 * uniform2,
+            "expected structural nulls: deviation {} vs uniform {uniform2}",
+            report.max_pair_deviation
+        );
+        assert!(report.max_marginal_deviation < 0.002);
+        assert_eq!(report.collision_rate, 0.0);
+    }
+
+    #[test]
+    fn fully_random_without_replacement_pairwise_uniform() {
+        let n = 16u64;
+        let scheme = FullyRandom::new(n, 3, Replacement::Without);
+        let report = measure_pairwise(&scheme, 2_000_000, &mut rng(2));
+        let noise = report.pair_noise_scale(n);
+        assert!(report.max_pair_deviation < 6.0 * noise);
+        assert_eq!(report.collision_rate, 0.0);
+    }
+
+    #[test]
+    fn with_replacement_has_collisions() {
+        let n = 8u64;
+        let scheme = FullyRandom::new(n, 3, Replacement::With);
+        let report = measure_pairwise(&scheme, 100_000, &mut rng(3));
+        // P(some pair collides) = 1 − (7/8)(6/8) ≈ 0.344.
+        assert!(
+            (report.collision_rate - 0.344).abs() < 0.01,
+            "collision rate {}",
+            report.collision_rate
+        );
+    }
+
+    #[test]
+    fn blocks_scheme_is_not_pairwise_uniform() {
+        // Within a block, h_2 = h_1 + 1 deterministically: the pair
+        // distribution is wildly non-uniform. The report must flag it.
+        let n = 16u64;
+        let scheme = ContiguousBlocks::new(n, 4);
+        let report = measure_pairwise(&scheme, 200_000, &mut rng(4));
+        let noise = report.pair_noise_scale(n);
+        assert!(
+            report.max_pair_deviation > 50.0 * noise,
+            "blocks should fail pairwise uniformity: dev {} noise {noise}",
+            report.max_pair_deviation
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let scheme = DoubleHashing::new(8, 2);
+        measure_pairwise(&scheme, 0, &mut rng(0));
+    }
+}

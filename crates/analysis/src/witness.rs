@@ -1,0 +1,172 @@
+//! Witness-tree leaf activation (Section 2.2).
+//!
+//! Vöcking's witness-tree argument needs: "a leaf ball whose d choices all
+//! have load ≥ 3" happens with probability ≤ 3^-d. With independent
+//! choices that is immediate (at most n/3 bins can have load ≥ 3). The
+//! paper's Section 2.2 observes that under double hashing the *placement*
+//! of the loaded bins matters: if the loaded third is contiguous, the
+//! fraction of (f, g) pairs landing entirely inside it is Θ(1/d²), far
+//! above 3^-d. This module computes the exact activation fraction for a
+//! given load configuration by enumerating all (f, g) pairs, making that
+//! discussion quantitative.
+
+use ba_numtheory::gcd;
+
+/// Exact fraction of double-hashing hash pairs `(f, g)` — `f ∈ [0, n)`,
+/// `g ∈ [1, n)` coprime to `n` — whose `d` probes all land on bins marked
+/// `true` in `loaded`.
+///
+/// Runs in `O(n·φ(n)·d)`; intended for `n` up to a few thousand.
+///
+/// # Panics
+///
+/// Panics if `loaded.is_empty()` or `d == 0` or `d > n`.
+pub fn double_hash_activation_fraction(loaded: &[bool], d: usize) -> f64 {
+    let n = loaded.len();
+    assert!(n >= 2, "need at least two bins");
+    assert!(d >= 1 && d <= n, "need 1 <= d <= n");
+    let mut total = 0u64;
+    let mut active = 0u64;
+    for g in 1..n {
+        if gcd(g as u64, n as u64) != 1 {
+            continue;
+        }
+        for f in 0..n {
+            total += 1;
+            let mut h = f;
+            let mut all = true;
+            for _ in 0..d {
+                if !loaded[h] {
+                    all = false;
+                    break;
+                }
+                h += g;
+                if h >= n {
+                    h -= n;
+                }
+            }
+            if all {
+                active += 1;
+            }
+        }
+    }
+    active as f64 / total as f64
+}
+
+/// The independent-choice reference value: if a `alpha` fraction of bins is
+/// loaded and the `d` choices were uniform and independent, the activation
+/// probability would be `alpha^d`.
+pub fn independent_activation_fraction(loaded: &[bool], d: usize) -> f64 {
+    let n = loaded.len() as f64;
+    let alpha = loaded.iter().filter(|&&b| b).count() as f64 / n;
+    alpha.powi(d as i32)
+}
+
+/// Builds the adversarial configuration from the paper's example: the first
+/// `k` of `n` bins loaded (one contiguous run).
+pub fn contiguous_loaded(n: usize, k: usize) -> Vec<bool> {
+    assert!(k <= n, "cannot load more bins than exist");
+    let mut v = vec![false; n];
+    for slot in v.iter_mut().take(k) {
+        *slot = true;
+    }
+    v
+}
+
+/// Builds a uniformly random configuration with `k` of `n` bins loaded,
+/// deterministically from `seed`.
+///
+/// Randomness matters here: any *structured* placement (e.g. an arithmetic
+/// progression) is itself a double-hashing probe orbit and would bias the
+/// activation fraction — exactly the effect
+/// [`double_hash_activation_fraction`] exists to expose.
+pub fn scattered_loaded(n: usize, k: usize, seed: u64) -> Vec<bool> {
+    assert!(k <= n, "cannot load more bins than exist");
+    use ba_rng::{Rng64, Xoshiro256StarStar};
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut v = vec![false; n];
+    let mut placed = 0;
+    while placed < k {
+        let pos = rng.gen_range(n as u64) as usize;
+        if !v[pos] {
+            v[pos] = true;
+            placed += 1;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_adversary_beats_independent_bound() {
+        // The paper's example: first n/3 bins loaded. Double hashing's
+        // activation fraction is Θ(1/d²), while the independent value is
+        // 3^-d ≈ 0.0123 for d = 4. At n = 512 the gap is pronounced.
+        let n = 512;
+        let d = 4;
+        let loaded = contiguous_loaded(n, n / 3);
+        let dh = double_hash_activation_fraction(&loaded, d);
+        let indep = independent_activation_fraction(&loaded, d);
+        assert!(
+            dh > 2.0 * indep,
+            "contiguous: double-hash {dh} should far exceed independent {indep}"
+        );
+        // And the paper's lower-bound intuition: at least ~(9(d+1)²)^-1.
+        let paper_lower = 1.0 / (9.0 * ((d + 1) * (d + 1)) as f64);
+        assert!(dh > paper_lower * 0.5, "dh {dh} vs paper bound {paper_lower}");
+    }
+
+    #[test]
+    fn scattered_configuration_matches_independent_closely() {
+        // When the loaded bins are spread out, double hashing behaves like
+        // independent choices (this is why the average case is fine).
+        let n = 512;
+        let d = 3;
+        let loaded = scattered_loaded(n, n / 3, 7);
+        let dh = double_hash_activation_fraction(&loaded, d);
+        let indep = independent_activation_fraction(&loaded, d);
+        assert!(
+            (dh - indep).abs() / indep < 0.5,
+            "scattered: double-hash {dh} vs independent {indep}"
+        );
+    }
+
+    #[test]
+    fn all_loaded_activates_everything() {
+        let loaded = vec![true; 64];
+        assert_eq!(double_hash_activation_fraction(&loaded, 3), 1.0);
+        assert_eq!(independent_activation_fraction(&loaded, 3), 1.0);
+    }
+
+    #[test]
+    fn none_loaded_activates_nothing() {
+        let loaded = vec![false; 64];
+        assert_eq!(double_hash_activation_fraction(&loaded, 3), 0.0);
+        assert_eq!(independent_activation_fraction(&loaded, 3), 0.0);
+    }
+
+    #[test]
+    fn d_one_equals_loaded_fraction() {
+        let loaded = contiguous_loaded(100, 25);
+        let dh = double_hash_activation_fraction(&loaded, 1);
+        assert!((dh - 0.25).abs() < 1e-12, "marginals are uniform: {dh}");
+    }
+
+    #[test]
+    fn builders_count_correctly() {
+        assert_eq!(contiguous_loaded(10, 4).iter().filter(|&&b| b).count(), 4);
+        assert_eq!(
+            scattered_loaded(97, 30, 3).iter().filter(|&&b| b).count(),
+            30
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more bins")]
+    fn contiguous_rejects_overfull() {
+        contiguous_loaded(4, 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Witness-tree construction (Section 2.2 / Vöcking).
+//!
+//! A *witness tree* certifies a high load: if some bin reaches load `L + c`
+//! then, walking backwards through the balls that caused each level, there
+//! is a depth-`L` tree of balls in which every node's ball found all its
+//! other choices at height ≥ its own. Section 2.2 bounds the probability
+//! any such tree "activates" under double hashing. This module *builds*
+//! the witness tree below a given bin from a recorded [`History`], so the
+//! structure the proof talks about can be inspected, measured, and tested
+//! on real runs.
+
+use crate::ancestry::History;
+
+/// A node of a witness tree: the ball that pushed some bin to a height,
+/// plus the witness subtrees of the choices that beat it.
+#[derive(Debug, Clone)]
+pub struct WitnessNode {
+    /// The ball id (its arrival time).
+    pub ball: u32,
+    /// The bin this node certifies (where `ball` was placed).
+    pub bin: u64,
+    /// The height this node certifies: `ball` landed on a bin of load
+    /// `height − 1`, making it the `height`-th ball there.
+    pub height: u32,
+    /// Witness subtrees for each of the ball's *other* choices (each of
+    /// which had load ≥ `height − 1` when the ball arrived).
+    pub children: Vec<WitnessNode>,
+}
+
+impl WitnessNode {
+    /// The depth of the tree (a single node has depth 1).
+    pub fn depth(&self) -> u32 {
+        1 + self
+            .children
+            .iter()
+            .map(WitnessNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> u64 {
+        1 + self.children.iter().map(WitnessNode::size).sum::<u64>()
+    }
+
+    /// Collects all ball ids in the tree (with multiplicity).
+    pub fn balls(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.size() as usize);
+        self.collect_balls(&mut out);
+        out
+    }
+
+    fn collect_balls(&self, out: &mut Vec<u32>) {
+        out.push(self.ball);
+        for c in &self.children {
+            c.collect_balls(out);
+        }
+    }
+}
+
+/// Builds the witness tree certifying that `bin` reached `target_height`
+/// during the recorded run, descending `levels` levels (heights
+/// `target_height` down to `target_height − levels + 1`).
+///
+/// Returns `None` if the bin never reached `target_height`.
+///
+/// Construction: replay the history; the ball that raised `bin` from
+/// `target_height − 1` to `target_height` is the root. For each of that
+/// ball's other choices — which, by the greedy rule, carried load ≥
+/// `target_height − 1` at that moment — recurse one level lower, bounded
+/// by the root ball's time.
+pub fn build_witness_tree(
+    history: &History,
+    bin: u64,
+    target_height: u32,
+    levels: u32,
+) -> Option<WitnessNode> {
+    build_at(history, bin, target_height, history.balls() as u32, levels)
+}
+
+/// Finds the ball that raised `bin` to `height` strictly before time
+/// `before`, then recurses on its other choices.
+fn build_at(
+    history: &History,
+    bin: u64,
+    height: u32,
+    before: u32,
+    levels: u32,
+) -> Option<WitnessNode> {
+    if height == 0 || levels == 0 {
+        return None;
+    }
+    // Replay placements into `bin` to find the ball landing at `height`.
+    let mut load = 0u32;
+    let mut found: Option<u32> = None;
+    for ball in history.balls_placed_in(bin) {
+        if ball >= before {
+            break;
+        }
+        load += 1;
+        if load == height {
+            found = Some(ball);
+            break;
+        }
+    }
+    let ball = found?;
+    let mut children = Vec::new();
+    if levels > 1 && height > 1 {
+        for &other in history.ball_choices(ball) {
+            if other == bin {
+                continue;
+            }
+            // The greedy rule guarantees `other` had load ≥ height − 1 at
+            // time `ball`; its witness at the lower level must exist.
+            if let Some(child) = build_at(history, other, height - 1, ball, levels - 1) {
+                children.push(child);
+            }
+        }
+    }
+    Some(WitnessNode {
+        ball,
+        bin,
+        height,
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_hash::DoubleHashing;
+    use ba_rng::Xoshiro256StarStar;
+
+    fn history(n: u64, d: usize, seed: u64) -> History {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        History::record(&DoubleHashing::new(n, d), n, &mut rng)
+    }
+
+    /// The deepest-loaded bin of the run and its final load.
+    fn deepest(history: &History) -> (u64, u32) {
+        let mut best = (0u64, 0u32);
+        for bin in 0..history.n() {
+            let load = history.balls_placed_in(bin).count() as u32;
+            if load > best.1 {
+                best = (bin, load);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn witness_tree_exists_for_max_load_bin() {
+        let h = history(1 << 10, 3, 1);
+        let (bin, load) = deepest(&h);
+        assert!(load >= 2, "max load {load} too small to witness");
+        let tree = build_witness_tree(&h, bin, load, load).expect("tree must exist");
+        assert_eq!(tree.bin, bin);
+        assert_eq!(tree.height, load);
+    }
+
+    #[test]
+    fn witness_tree_depth_tracks_levels() {
+        let h = history(1 << 10, 3, 2);
+        let (bin, load) = deepest(&h);
+        for levels in 1..=load {
+            let tree = build_witness_tree(&h, bin, load, levels).expect("exists");
+            assert!(tree.depth() <= levels, "depth {} > levels {levels}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn children_certify_lower_heights() {
+        let h = history(1 << 10, 4, 3);
+        let (bin, load) = deepest(&h);
+        let tree = build_witness_tree(&h, bin, load, load).expect("exists");
+        fn check(node: &WitnessNode) {
+            for c in &node.children {
+                assert_eq!(c.height, node.height - 1);
+                assert!(c.ball < node.ball, "child must precede parent in time");
+                check(c);
+            }
+        }
+        check(&tree);
+    }
+
+    #[test]
+    fn greedy_rule_gives_full_fanout_below_root() {
+        // Every non-leaf node at height ≥ 2 must have witnesses for *all*
+        // d−1 other choices: the greedy rule guarantees those bins carried
+        // load ≥ height−1 ≥ 1 when the ball arrived.
+        let h = history(1 << 10, 3, 4);
+        let (bin, load) = deepest(&h);
+        assert!(load >= 3, "need load ≥ 3 for an interior level, got {load}");
+        let tree = build_witness_tree(&h, bin, load, 2).expect("exists");
+        assert_eq!(
+            tree.children.len(),
+            2,
+            "root at height {load} must witness both other choices"
+        );
+    }
+
+    #[test]
+    fn missing_height_returns_none() {
+        let h = history(1 << 8, 3, 5);
+        let (bin, load) = deepest(&h);
+        assert!(build_witness_tree(&h, bin, load + 1, 3).is_none());
+    }
+
+    #[test]
+    fn tree_size_and_balls_agree() {
+        let h = history(1 << 9, 3, 6);
+        let (bin, load) = deepest(&h);
+        let tree = build_witness_tree(&h, bin, load, load).expect("exists");
+        assert_eq!(tree.size() as usize, tree.balls().len());
+        assert!(tree.size() >= 1);
+    }
+}

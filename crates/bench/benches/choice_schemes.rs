@@ -1,0 +1,51 @@
+//! Cost per choice-vector generation, scheme by scheme.
+//!
+//! The paper's practical motivation is that double hashing consumes two
+//! hash values instead of d — this bench quantifies the per-ball saving.
+
+use ba_hash::{AnyScheme, ChoiceScheme};
+use ba_rng::Xoshiro256StarStar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let n = 1u64 << 14;
+    let mut group = c.benchmark_group("fill_choices");
+    for d in [2usize, 3, 4, 8] {
+        for name in ["random", "random-replace", "double", "blocks"] {
+            let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            let mut buf = vec![0u64; d];
+            group.bench_with_input(
+                BenchmarkId::new(name.to_string(), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        scheme.fill_choices(&mut rng, &mut buf);
+                        black_box(buf[0])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_prime_vs_pow2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_hashing_modulus");
+    for (label, n) in [("pow2_16384", 1u64 << 14), ("prime_16381", 16381), ("composite_16380", 16380)] {
+        let scheme = ba_hash::DoubleHashing::new(n, 4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut buf = [0u64; 4];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                scheme.fill_choices(&mut rng, &mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_prime_vs_pow2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fluid-limit solver throughput: cost of regenerating the theory columns.
+
+use ba_fluid::{BalancedAllocationOde, DLeftOde, SupermarketOde};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balanced_ode");
+    for d in [2u32, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let ode = BalancedAllocationOde::new(d, 12);
+            b.iter(|| black_box(ode.tail_fractions(1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dleft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dleft_ode");
+    for d in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let ode = DLeftOde::new(d, 10);
+            b.iter(|| black_box(ode.tail_fractions(1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_supermarket(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supermarket");
+    group.bench_function("equilibrium", |b| {
+        let ode = SupermarketOde::new(0.99, 4, 60);
+        b.iter(|| black_box(ode.equilibrium_sojourn_time()))
+    });
+    group.bench_function("transient_t50", |b| {
+        let ode = SupermarketOde::new(0.9, 3, 30);
+        b.iter(|| black_box(ode.tail_fractions(50.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_balanced, bench_dleft, bench_supermarket);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! One bench per paper table, at reduced trial counts: tracks the cost of
+//! regenerating each experiment end to end.
+
+use ba_bench::{experiment, Opts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn reduced_opts() -> Opts {
+    Opts {
+        trials: 3,
+        seed: 2014,
+        threads: 0,
+        full: false,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    // Tables 3-5 sweep to n = 2^18..2^20 and dominate any benchmark budget;
+    // track the structurally distinct fast ones plus a theory experiment.
+    for name in ["table1", "table2", "majorize", "branching", "witness"] {
+        let f = experiment(name).expect("known experiment");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            let opts = reduced_opts();
+            b.iter(|| black_box(f(&opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

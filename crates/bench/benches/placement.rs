@@ -1,0 +1,54 @@
+//! End-to-end placement throughput: balls placed per second for each
+//! process variant (the simulator's hot loop).
+
+use ba_core::{run_process, OnePlusBeta, TieBreak};
+use ba_hash::{AnyScheme, DoubleHashing};
+use ba_rng::Xoshiro256StarStar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_processes(c: &mut Criterion) {
+    let n = 1u64 << 14;
+    let mut group = c.benchmark_group("run_process");
+    group.throughput(Throughput::Elements(n));
+    for name in ["one", "random", "double", "dleft-random", "dleft-double"] {
+        // d-left needs d | n (subtables of equal size): use d = 4 there.
+        let d = match name {
+            "one" => 1,
+            n if n.starts_with("dleft") => 4,
+            _ => 3,
+        };
+        let tie = if name.starts_with("dleft") {
+            TieBreak::FirstOffered
+        } else {
+            TieBreak::Random
+        };
+        let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+            b.iter(|| black_box(run_process(s, n, tie, &mut rng).max_load()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_plus_beta(c: &mut Criterion) {
+    let n = 1u64 << 14;
+    let mut group = c.benchmark_group("one_plus_beta");
+    group.throughput(Throughput::Elements(n));
+    for beta in [0.25f64, 0.5, 1.0] {
+        let process = OnePlusBeta::new(DoubleHashing::new(n, 2), beta);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("beta_{beta}")),
+            &process,
+            |b, p| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+                b.iter(|| black_box(p.run(n, TieBreak::Random, &mut rng).max_load()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_processes, bench_one_plus_beta);
+criterion_main!(benches);

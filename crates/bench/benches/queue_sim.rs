@@ -1,0 +1,44 @@
+//! Discrete-event simulator throughput (events per second).
+
+use ba_hash::AnyScheme;
+use ba_queue::SupermarketSim;
+use ba_rng::Xoshiro256StarStar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_supermarket_sim(c: &mut Criterion) {
+    let n = 1u64 << 10;
+    let horizon = 100.0;
+    let mut group = c.benchmark_group("supermarket_sim");
+    // Each simulated second processes ~2·λ·n events (arrival + departure).
+    group.throughput(Throughput::Elements((2.0 * 0.9 * n as f64 * horizon) as u64));
+    group.sample_size(10);
+    for name in ["random", "double"] {
+        let scheme = AnyScheme::by_name(name, n, 3).expect("known scheme");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            let sim = SupermarketSim::new(s, 0.9);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+            b.iter(|| black_box(sim.run(horizon, 0.0, &mut rng).counted()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_choice_count(c: &mut Criterion) {
+    let n = 1u64 << 10;
+    let mut group = c.benchmark_group("supermarket_d_sweep");
+    group.sample_size(10);
+    for d in [1usize, 2, 3, 4] {
+        let name = if d == 1 { "one" } else { "double" };
+        let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+        group.bench_with_input(BenchmarkId::from_parameter(d), &scheme, |b, s| {
+            let sim = SupermarketSim::new(s, 0.8);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+            b.iter(|| black_box(sim.run(50.0, 0.0, &mut rng).counted()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_supermarket_sim, bench_choice_count);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Ablations over the design choices DESIGN.md calls out.
+
+use crate::tables::load_comparison;
+use crate::Opts;
+use ba_core::experiment::{run_load_experiment, ExperimentConfig};
+use ba_core::TieBreak;
+use ba_hash::{AnyScheme, DoubleHashing};
+use ba_numtheory::prev_prime;
+use ba_stats::{format_fraction, Table};
+
+/// With vs without replacement for the fully random baseline (the paper's
+/// footnote 7: only tiny n shows a difference).
+pub fn replacement(opts: &Opts) -> String {
+    let mut out = String::new();
+    for exp in [6u32, 14] {
+        let n = 1u64 << exp;
+        let schemes = vec![
+            (
+                "Without repl.",
+                AnyScheme::by_name("random", n, 3).expect("known scheme"),
+            ),
+            (
+                "With repl.",
+                AnyScheme::by_name("random-replace", n, 3).expect("known scheme"),
+            ),
+        ];
+        out.push_str(&load_comparison(
+            &format!("(3 choices, n = 2^{exp}, {} trials)", opts.trials),
+            &schemes,
+            n,
+            TieBreak::Random,
+            opts,
+        ));
+        out.push('\n');
+    }
+    out.insert_str(
+        0,
+        "Replacement ablation: visible difference only at small n.\n",
+    );
+    out
+}
+
+/// Tie-breaking rules for the standard process (they should all agree for
+/// the symmetric process; d-left's advantage needs the *asymmetric* layout,
+/// not just deterministic ties).
+pub fn ties(opts: &Opts) -> String {
+    let n = 1u64 << 14;
+    let d = 3;
+    let scheme = DoubleHashing::new(n, d);
+    let mut table = Table::new(&["Load", "Random ties", "First offered", "Lowest index"]);
+    let accs: Vec<_> = [TieBreak::Random, TieBreak::FirstOffered, TieBreak::LowestIndex]
+        .iter()
+        .map(|&tie| {
+            run_load_experiment(
+                &scheme,
+                &ExperimentConfig::new(n)
+                    .trials(opts.trials)
+                    .seed(opts.seed)
+                    .threads(opts.threads)
+                    .tie(tie),
+            )
+        })
+        .collect();
+    let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0);
+    for load in 0..=max_load as usize {
+        table.row_owned(vec![
+            load.to_string(),
+            format_fraction(accs[0].mean_fraction(load)),
+            format_fraction(accs[1].mean_fraction(load)),
+            format_fraction(accs[2].mean_fraction(load)),
+        ]);
+    }
+    format!(
+        "Tie-break ablation (double hashing, d = {d}, n = 2^14, {} trials):\n\
+         the symmetric process is insensitive to the tie rule.\n{}",
+        opts.trials,
+        table.render()
+    )
+}
+
+/// Table modulus ablation: power-of-two vs prime vs composite n for double
+/// hashing (strides: odd / all nonzero / coprime-by-rejection).
+pub fn modulus(opts: &Opts) -> String {
+    let pow2 = 1u64 << 14;
+    let prime = prev_prime(pow2).expect("primes below 2^14 exist"); // 16381
+    let composite = pow2 - 4; // 16380 = 2^2 · 3^2 · 5 · 7 · 13
+    let mut table = Table::new(&["Load", "n = 2^14", "n = 16381 (prime)", "n = 16380"]);
+    let accs: Vec<_> = [pow2, prime, composite]
+        .iter()
+        .map(|&n| {
+            run_load_experiment(
+                &DoubleHashing::new(n, 3),
+                &ExperimentConfig::new(n)
+                    .trials(opts.trials)
+                    .seed(opts.seed)
+                    .threads(opts.threads),
+            )
+        })
+        .collect();
+    let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0);
+    for load in 0..=max_load as usize {
+        let mut row = vec![load.to_string()];
+        row.extend(accs.iter().map(|a| format_fraction(a.mean_fraction(load))));
+        table.row_owned(row);
+    }
+    format!(
+        "Modulus ablation (double hashing, d = 3, {} trials): the load\n\
+         distribution is insensitive to the stride group's structure.\n{}",
+        opts.trials,
+        table.render()
+    )
+}
+
+/// Deletion churn: steady-state load distribution under constant-population
+/// insert/delete churn (the paper's "settings with deletions" remark).
+pub fn churn(opts: &Opts) -> String {
+    use ba_core::run_churn_process;
+    use ba_core::runner;
+    use ba_stats::{LoadHistogram, TrialAccumulator};
+    let n = 1u64 << 12;
+    let d = 3;
+    let ops = 8 * n;
+    let trials = opts.trials.clamp(1, 500);
+    let mut table = Table::new(&["Load", "Fully Random", "Double Hashing"]);
+    let accs: Vec<TrialAccumulator> = ["random", "double"]
+        .iter()
+        .map(|name| {
+            let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+            let hists: Vec<LoadHistogram> =
+                runner::run_trials(trials, opts.threads, opts.seed, |_t, seq| {
+                    let mut rng = seq.xoshiro();
+                    run_churn_process(&scheme, n, ops, TieBreak::Random, &mut rng)
+                        .histogram()
+                });
+            let mut acc = TrialAccumulator::new();
+            for h in &hists {
+                acc.push(h);
+            }
+            acc
+        })
+        .collect();
+    let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0);
+    for load in 0..=max_load as usize {
+        let mut row = vec![load.to_string()];
+        row.extend(accs.iter().map(|a| format_fraction(a.mean_fraction(load))));
+        table.row_owned(row);
+    }
+    format!(
+        "Deletion churn (n = 2^12 balls/bins, d = {d}, {ops} delete+insert ops,\n\
+         {trials} trials): the equivalence survives deletions.\n{}",
+        table.render()
+    )
+}
+
+/// PRNG-family ablation: xoshiro256** vs PCG64 vs the paper's drand48 LCG.
+pub fn prng(opts: &Opts) -> String {
+    let n = 1u64 << 14;
+    let d = 3;
+    let mut out = String::new();
+    for scheme_name in ["random", "double"] {
+        let scheme = AnyScheme::by_name(scheme_name, n, d).expect("known scheme");
+        let mut table = Table::new(&["Load", "xoshiro", "pcg64", "lcg48 (drand48)"]);
+        let accs: Vec<_> = ba_rng::RngKind::names()
+            .iter()
+            .map(|name| {
+                let kind = ba_rng::RngKind::by_name(name).expect("known kind");
+                run_load_experiment(
+                    &scheme,
+                    &ExperimentConfig::new(n)
+                        .trials(opts.trials)
+                        .seed(opts.seed)
+                        .threads(opts.threads)
+                        .rng(kind),
+                )
+            })
+            .collect();
+        let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0);
+        for load in 0..=max_load as usize {
+            let mut row = vec![load.to_string()];
+            row.extend(accs.iter().map(|a| format_fraction(a.mean_fraction(load))));
+            table.row_owned(row);
+        }
+        out.push_str(&format!(
+            "({scheme_name}, d = {d}, n = 2^14, {} trials)\n{}\n",
+            opts.trials,
+            table.render()
+        ));
+    }
+    out.insert_str(
+        0,
+        "PRNG ablation: conclusions are independent of the generator family.\n",
+    );
+    out
+}

@@ -1,0 +1,133 @@
+//! Extension experiments: the paper's "opens the door" domains.
+//!
+//! The conclusion of the paper conjectures that double hashing is equally
+//! harmless in other multiple-hash structures. Two of them are concrete
+//! enough to test here: Bloom filters (Kirsch–Mitzenmacher, cited in §1.1)
+//! and d-ary cuckoo hashing (Mitzenmacher–Thaler, cited in §1.1 and §4).
+
+use crate::Opts;
+use ba_bloom::{BloomFilter, ProbeStrategy};
+use ba_core::runner;
+use ba_cuckoo::CuckooTable;
+use ba_hash::AnyScheme;
+use ba_stats::{Table, Welford};
+
+/// Bloom-filter false-positive rates: independent vs double vs enhanced
+/// double hashing, across target rates.
+pub fn bloom(opts: &Opts) -> String {
+    let n = 50_000u64;
+    let queries = 200_000u64;
+    let trials = opts.trials.clamp(1, 20);
+    let mut table = Table::new(&[
+        "target p",
+        "k",
+        "theory",
+        "independent",
+        "double",
+        "enhanced",
+    ]);
+    for target in [0.1f64, 0.01, 0.001] {
+        let mut row: Vec<String> = Vec::new();
+        let mut k_used = 0;
+        let mut theory = 0.0;
+        let mut rates = Vec::new();
+        for strategy in [
+            ProbeStrategy::Independent,
+            ProbeStrategy::DoubleHashing,
+            ProbeStrategy::EnhancedDouble,
+        ] {
+            let means = runner::run_trials(trials, opts.threads, opts.seed, |trial, seq| {
+                let mut filter = BloomFilter::with_rate(n, target, strategy, seq.derive_u64());
+                for i in 0..n {
+                    filter.insert(i.wrapping_mul(0x9E37_79B9).wrapping_add(trial));
+                }
+                let mut rng = seq.child(1).xoshiro();
+                (
+                    filter.measure_fpr(queries, &mut rng),
+                    filter.k(),
+                    filter.theoretical_fpr(),
+                )
+            });
+            let mut w = Welford::new();
+            for &(fpr, k, th) in &means {
+                w.push(fpr);
+                k_used = k;
+                theory = th;
+            }
+            rates.push(w.mean());
+        }
+        row.push(format!("{target}"));
+        row.push(k_used.to_string());
+        row.push(format!("{theory:.5}"));
+        for r in rates {
+            row.push(format!("{r:.5}"));
+        }
+        table.row_owned(row);
+    }
+    format!(
+        "Bloom filter FPR, n = {n} keys, {queries} negative queries, {trials} trials\n\
+         (Kirsch-Mitzenmacher: double hashing matches k independent hashes):\n{}",
+        table.render()
+    )
+}
+
+/// Cuckoo-hashing load thresholds: fully random vs double hashing, d ∈
+/// {2, 3, 4}; literature thresholds ~0.5 / 0.918 / 0.977.
+pub fn cuckoo(opts: &Opts) -> String {
+    let n = 1u64 << 12;
+    let trials = opts.trials.clamp(1, 50);
+    let mut table = Table::new(&["d", "Fully Random", "Double Hashing", "literature"]);
+    let literature = ["0.5", "0.918", "0.977"];
+    for (i, d) in [2usize, 3, 4].into_iter().enumerate() {
+        let mut cells = vec![d.to_string()];
+        for name in ["random", "double"] {
+            let loads = runner::run_trials(trials, opts.threads, opts.seed, |_t, seq| {
+                let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+                let mut table = CuckooTable::new(scheme, 5_000, seq.derive_u64());
+                let mut rng = seq.child(9).xoshiro();
+                table.fill_until_failure(&mut rng)
+            });
+            let mut w = Welford::new();
+            for l in loads {
+                w.push(l);
+            }
+            cells.push(format!("{:.4}", w.mean()));
+        }
+        cells.push(literature[i].to_string());
+        table.row_owned(cells);
+    }
+    format!(
+        "d-ary cuckoo hashing load threshold at first insertion failure\n\
+         (n = {n} buckets, {trials} trials; paper's conclusion / Allerton 2012):\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Opts {
+        Opts {
+            trials: 1,
+            seed: 3,
+            threads: 0,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn bloom_experiment_renders() {
+        let out = bloom(&tiny());
+        assert!(out.contains("independent"));
+        assert!(out.contains("double"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn cuckoo_experiment_renders() {
+        let out = cuckoo(&tiny());
+        assert!(out.contains("0.918"));
+        assert!(out.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Harness options and CLI parsing.
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Trials per configuration (the paper uses 10 000).
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Run at the paper's full problem sizes (Table 8's n = 2^14 queues and
+    /// 10^4-second horizon; otherwise a scaled-down protocol is used).
+    pub full: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            trials: 200,
+            seed: 2014, // SPAA 2014
+            threads: 0,
+            full: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--trials N --seed S --threads T --full` style arguments.
+    /// Returns the remaining positional arguments (experiment names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the offending argument.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<(Self, Vec<String>), String> {
+        let mut opts = Self::default();
+        let mut positional = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    opts.trials = take_num(&mut iter, "--trials")?;
+                    if opts.trials == 0 {
+                        return Err("--trials must be positive".into());
+                    }
+                }
+                "--seed" => opts.seed = take_num(&mut iter, "--seed")?,
+                "--threads" => opts.threads = take_num(&mut iter, "--threads")? as usize,
+                "--full" => opts.full = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"));
+                }
+                other => positional.push(other.to_string()),
+            }
+        }
+        Ok((opts, positional))
+    }
+}
+
+fn take_num<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<u64, String> {
+    let value = iter
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} expects an integer, got {value}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(Opts, Vec<String>), String> {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let (opts, rest) = parse(&[]).unwrap();
+        assert_eq!(opts.trials, 200);
+        assert!(!opts.full);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let (opts, rest) =
+            parse(&["table1", "--trials", "50", "--seed", "7", "--full", "table2"]).unwrap();
+        assert_eq!(opts.trials, 50);
+        assert_eq!(opts.seed, 7);
+        assert!(opts.full);
+        assert_eq!(rest, vec!["table1", "table2"]);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["--trials"]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        assert!(parse(&["--seed", "banana"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_trials() {
+        assert!(parse(&["--trials", "0"]).is_err());
+    }
+}

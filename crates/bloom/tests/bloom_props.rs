@@ -1,0 +1,86 @@
+//! Property-based tests for the Bloom filter.
+
+use ba_bloom::{BloomFilter, ProbeStrategy};
+use proptest::prelude::*;
+
+fn strategies() -> impl Strategy<Value = ProbeStrategy> {
+    prop_oneof![
+        Just(ProbeStrategy::Independent),
+        Just(ProbeStrategy::DoubleHashing),
+        Just(ProbeStrategy::EnhancedDouble),
+    ]
+}
+
+proptest! {
+    /// The defining guarantee: no false negatives, ever.
+    #[test]
+    fn no_false_negatives(
+        strategy in strategies(),
+        m in 64u64..10_000,
+        k in 1u32..12,
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut f = BloomFilter::new(m, k, strategy, seed);
+        for &key in &keys {
+            f.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(f.contains(key), "lost key {key}");
+        }
+        prop_assert_eq!(f.items(), keys.len() as u64);
+    }
+
+    /// Fill ratio is monotone in insertions and bounded by k·items/m.
+    #[test]
+    fn fill_ratio_bounded(
+        strategy in strategies(),
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let m = 4096u64;
+        let k = 5u32;
+        let mut f = BloomFilter::new(m, k, strategy, seed);
+        let mut last = 0.0;
+        for &key in &keys {
+            f.insert(key);
+            let now = f.fill_ratio();
+            prop_assert!(now >= last, "fill ratio decreased");
+            last = now;
+        }
+        prop_assert!(last <= (k as f64 * keys.len() as f64 / m as f64).min(1.0) + 1e-12);
+    }
+
+    /// Sizing honours the standard formulas' monotonicity: smaller target
+    /// rate → more bits.
+    #[test]
+    fn sizing_monotone(n in 100u64..100_000) {
+        let loose = BloomFilter::with_rate(n, 0.1, ProbeStrategy::DoubleHashing, 0);
+        let tight = BloomFilter::with_rate(n, 0.001, ProbeStrategy::DoubleHashing, 0);
+        prop_assert!(tight.bits() > loose.bits());
+        prop_assert!(tight.k() >= loose.k());
+    }
+
+    /// Lookups are deterministic: two filters with identical construction
+    /// agree on every query.
+    #[test]
+    fn lookups_deterministic(
+        strategy in strategies(),
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+        queries in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let build = || {
+            let mut f = BloomFilter::new(2048, 4, strategy, seed);
+            for &key in &keys {
+                f.insert(key);
+            }
+            f
+        };
+        let f1 = build();
+        let f2 = build();
+        for &q in &queries {
+            prop_assert_eq!(f1.contains(q), f2.contains(q));
+        }
+    }
+}

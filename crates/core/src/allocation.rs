@@ -1,0 +1,324 @@
+//! The bins state and the greedy placement rule.
+
+use ba_hash::ChoiceScheme;
+use ba_rng::Rng64;
+use ba_stats::LoadHistogram;
+
+/// How to resolve ties among least-loaded choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// Uniformly at random among the tied choices (the paper's standard
+    /// process, Theorem 8: "ties broken randomly").
+    Random,
+    /// The earliest-offered tied choice wins. Under a
+    /// [`ba_hash::Partitioned`] scheme, whose k-th choice lies in the k-th
+    /// subtable, this is exactly Vöcking's "ties broken to the left".
+    FirstOffered,
+    /// The tied choice with the smallest bin index wins (deterministic and
+    /// layout-independent; used in ablations).
+    LowestIndex,
+}
+
+/// The mutable state of a balls-and-bins process: one load counter per bin.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    loads: Vec<u32>,
+    balls: u64,
+}
+
+impl Allocation {
+    /// Creates an empty allocation over `n` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "need at least one bin");
+        Self {
+            loads: vec![0u32; n as usize],
+            balls: 0,
+        }
+    }
+
+    /// The number of bins.
+    pub fn n(&self) -> u64 {
+        self.loads.len() as u64
+    }
+
+    /// The number of balls placed so far.
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// The load of a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    pub fn load(&self, bin: u64) -> u32 {
+        self.loads[bin as usize]
+    }
+
+    /// All bin loads, indexed by bin.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// The current maximum load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Places one ball into the least loaded of `choices`, resolving ties
+    /// per `tie`. Returns the chosen bin.
+    ///
+    /// Duplicate choices are allowed (they simply cannot win a tie against
+    /// themselves differently); each slot still refers to the same counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty or contains an out-of-range bin.
+    #[inline]
+    pub fn place(&mut self, choices: &[u64], tie: TieBreak, rng: &mut dyn Rng64) -> u64 {
+        assert!(!choices.is_empty(), "a ball needs at least one choice");
+        let chosen = match tie {
+            TieBreak::FirstOffered => {
+                let mut best = choices[0];
+                let mut best_load = self.loads[best as usize];
+                for &c in &choices[1..] {
+                    let l = self.loads[c as usize];
+                    if l < best_load {
+                        best = c;
+                        best_load = l;
+                    }
+                }
+                best
+            }
+            TieBreak::LowestIndex => {
+                let mut best = choices[0];
+                let mut best_load = self.loads[best as usize];
+                for &c in &choices[1..] {
+                    let l = self.loads[c as usize];
+                    if l < best_load || (l == best_load && c < best) {
+                        best = c;
+                        best_load = l;
+                    }
+                }
+                best
+            }
+            TieBreak::Random => {
+                // Reservoir-style single pass: the i-th tied candidate
+                // replaces the incumbent with probability 1/i.
+                let mut best = choices[0];
+                let mut best_load = self.loads[best as usize];
+                let mut ties = 1u64;
+                for &c in &choices[1..] {
+                    let l = self.loads[c as usize];
+                    if l < best_load {
+                        best = c;
+                        best_load = l;
+                        ties = 1;
+                    } else if l == best_load {
+                        ties += 1;
+                        if rng.gen_range(ties) == 0 {
+                            best = c;
+                        }
+                    }
+                }
+                best
+            }
+        };
+        self.loads[chosen as usize] += 1;
+        self.balls += 1;
+        chosen
+    }
+
+    /// Removes one ball from `bin` (for deletion workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin is empty or out of range.
+    pub fn remove(&mut self, bin: u64) {
+        let slot = &mut self.loads[bin as usize];
+        assert!(*slot > 0, "cannot remove from empty bin {bin}");
+        *slot -= 1;
+        self.balls -= 1;
+    }
+
+    /// The load histogram of the current state.
+    pub fn histogram(&self) -> LoadHistogram {
+        LoadHistogram::from_loads(&self.loads)
+    }
+}
+
+/// Throws `m` balls into the scheme's `n` bins, placing each in the least
+/// loaded of its choices.
+pub fn run_process<S: ChoiceScheme + ?Sized, R: Rng64>(
+    scheme: &S,
+    m: u64,
+    tie: TieBreak,
+    rng: &mut R,
+) -> Allocation {
+    let mut alloc = Allocation::new(scheme.n());
+    let mut choices = vec![0u64; scheme.d()];
+    for _ in 0..m {
+        scheme.fill_choices(rng, &mut choices);
+        alloc.place(&choices, tie, rng);
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_hash::{DoubleHashing, FullyRandom, OneChoice, Replacement};
+    use ba_rng::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn place_prefers_least_loaded() {
+        let mut a = Allocation::new(4);
+        a.place(&[0], TieBreak::Random, &mut rng(0)); // bin 0 -> load 1
+        let chosen = a.place(&[0, 1], TieBreak::Random, &mut rng(1));
+        assert_eq!(chosen, 1, "must pick the empty bin");
+        assert_eq!(a.load(0), 1);
+        assert_eq!(a.load(1), 1);
+    }
+
+    #[test]
+    fn tie_break_first_offered() {
+        let mut a = Allocation::new(4);
+        let chosen = a.place(&[2, 1, 3], TieBreak::FirstOffered, &mut rng(0));
+        assert_eq!(chosen, 2);
+    }
+
+    #[test]
+    fn tie_break_lowest_index() {
+        let mut a = Allocation::new(4);
+        let chosen = a.place(&[2, 1, 3], TieBreak::LowestIndex, &mut rng(0));
+        assert_eq!(chosen, 1);
+    }
+
+    #[test]
+    fn tie_break_random_is_uniform() {
+        // Place a ball with 3 equally empty choices many times; each choice
+        // should win about a third of the time.
+        let mut counts = [0u64; 3];
+        let mut r = rng(42);
+        for _ in 0..30_000 {
+            let mut a = Allocation::new(3);
+            let c = a.place(&[0, 1, 2], TieBreak::Random, &mut r);
+            counts[c as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 500.0,
+                "tie break biased: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_choices_count_once() {
+        let mut a = Allocation::new(2);
+        let c = a.place(&[1, 1, 1], TieBreak::Random, &mut rng(0));
+        assert_eq!(c, 1);
+        assert_eq!(a.load(1), 1);
+        assert_eq!(a.balls(), 1);
+    }
+
+    #[test]
+    fn remove_reverses_place() {
+        let mut a = Allocation::new(4);
+        let c = a.place(&[3], TieBreak::Random, &mut rng(0));
+        a.remove(c);
+        assert_eq!(a.load(3), 0);
+        assert_eq!(a.balls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn remove_from_empty_panics() {
+        let mut a = Allocation::new(4);
+        a.remove(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn place_requires_choices() {
+        let mut a = Allocation::new(4);
+        a.place(&[], TieBreak::Random, &mut rng(0));
+    }
+
+    #[test]
+    fn run_process_conserves_balls() {
+        let scheme = FullyRandom::new(128, 3, Replacement::Without);
+        let a = run_process(&scheme, 500, TieBreak::Random, &mut rng(5));
+        assert_eq!(a.balls(), 500);
+        assert_eq!(a.histogram().total_balls(), 500);
+        assert_eq!(a.histogram().total_bins(), 128);
+    }
+
+    #[test]
+    fn one_choice_worse_than_three_choices() {
+        // The classical separation: with n balls/bins, one choice gives max
+        // load ~ ln n / ln ln n, three choices gives ~ log log n. At n = 2^12
+        // these are reliably different (≥ 5-6 vs ≤ 4).
+        let n = 1u64 << 12;
+        let mut r = rng(7);
+        let one = run_process(&OneChoice::new(n), n, TieBreak::Random, &mut r);
+        let three = run_process(
+            &FullyRandom::new(n, 3, Replacement::Without),
+            n,
+            TieBreak::Random,
+            &mut r,
+        );
+        assert!(
+            one.max_load() > three.max_load(),
+            "one-choice {} vs three-choice {}",
+            one.max_load(),
+            three.max_load()
+        );
+        assert!(three.max_load() <= 4, "3 choices at n=2^12: {}", three.max_load());
+    }
+
+    #[test]
+    fn double_hashing_also_achieves_low_max_load() {
+        let n = 1u64 << 12;
+        let mut r = rng(8);
+        let a = run_process(&DoubleHashing::new(n, 3), n, TieBreak::Random, &mut r);
+        assert!(a.max_load() <= 4, "double hashing max load {}", a.max_load());
+    }
+
+    #[test]
+    fn heavily_loaded_mean_load_matches() {
+        // m = 16n balls: average load 16, max load close to 16 + O(log log n).
+        let n = 1u64 << 10;
+        let m = n * 16;
+        let mut r = rng(9);
+        let a = run_process(&DoubleHashing::new(n, 3), m, TieBreak::Random, &mut r);
+        assert_eq!(a.balls(), m);
+        let hist = a.histogram();
+        assert_eq!(hist.total_balls(), m);
+        // Min load must be near 16 as well (two-choice processes are tight).
+        assert!(a.max_load() >= 16);
+        assert!(a.max_load() <= 22, "max load {}", a.max_load());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scheme = DoubleHashing::new(256, 3);
+        let a = run_process(&scheme, 256, TieBreak::Random, &mut rng(77));
+        let b = run_process(&scheme, 256, TieBreak::Random, &mut rng(77));
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Allocation::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The (1+β)-choice process (Peres–Talwar–Wieder, SODA 2010).
+//!
+//! Each ball uses two choices with probability β and a single uniform
+//! choice otherwise. The paper cites this as related reduced-randomness
+//! work; we include it as an extension workload so the harness can show
+//! that replacing the two-choice step's randomness with double hashing is
+//! equally harmless in a *mixture* process.
+
+use crate::{Allocation, TieBreak};
+use ba_hash::ChoiceScheme;
+use ba_rng::Rng64;
+
+/// The (1+β)-choice process over a two-choice scheme.
+#[derive(Debug, Clone)]
+pub struct OnePlusBeta<S> {
+    two_choice: S,
+    beta: f64,
+}
+
+impl<S: ChoiceScheme> OnePlusBeta<S> {
+    /// Creates the process. `two_choice` must offer exactly 2 choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `two_choice.d() != 2` or β is outside `[0, 1]`.
+    pub fn new(two_choice: S, beta: f64) -> Self {
+        assert_eq!(two_choice.d(), 2, "(1+β) needs a two-choice scheme");
+        assert!((0.0..=1.0).contains(&beta), "β must lie in [0, 1]");
+        Self { two_choice, beta }
+    }
+
+    /// The mixing parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The number of bins.
+    pub fn n(&self) -> u64 {
+        self.two_choice.n()
+    }
+
+    /// Throws `m` balls and returns the final allocation.
+    pub fn run<R: Rng64>(&self, m: u64, tie: TieBreak, rng: &mut R) -> Allocation {
+        let mut alloc = Allocation::new(self.n());
+        let mut pair = [0u64; 2];
+        for _ in 0..m {
+            if rng.gen_bool(self.beta) {
+                self.two_choice.fill_choices(rng, &mut pair);
+                alloc.place(&pair, tie, rng);
+            } else {
+                let bin = rng.gen_range(self.n());
+                alloc.place(&[bin], tie, rng);
+            }
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_hash::{DoubleHashing, FullyRandom, Replacement};
+    use ba_rng::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn beta_zero_is_one_choice() {
+        // With β = 0 the process never consults the two-choice scheme; the
+        // max load should behave like single-choice (strictly worse than
+        // β = 1 two-choice at the same size).
+        let n = 1u64 << 12;
+        let zero = OnePlusBeta::new(FullyRandom::new(n, 2, Replacement::Without), 0.0);
+        let one = OnePlusBeta::new(FullyRandom::new(n, 2, Replacement::Without), 1.0);
+        let a0 = zero.run(n, TieBreak::Random, &mut rng(1));
+        let a1 = one.run(n, TieBreak::Random, &mut rng(2));
+        assert!(
+            a0.max_load() > a1.max_load(),
+            "β=0 max {} should exceed β=1 max {}",
+            a0.max_load(),
+            a1.max_load()
+        );
+    }
+
+    #[test]
+    fn intermediate_beta_interpolates() {
+        let n = 1u64 << 12;
+        let half = OnePlusBeta::new(FullyRandom::new(n, 2, Replacement::Without), 0.5);
+        let a = half.run(n, TieBreak::Random, &mut rng(3));
+        assert_eq!(a.balls(), n);
+        // (1+β) with β=0.5 keeps max load well below one-choice levels but
+        // above pure two-choice. Loose sanity bounds:
+        assert!(a.max_load() >= 3);
+        assert!(a.max_load() <= 12);
+    }
+
+    #[test]
+    fn double_hashing_two_choice_works() {
+        let n = 1u64 << 10;
+        let p = OnePlusBeta::new(DoubleHashing::new(n, 2), 0.7);
+        let a = p.run(n, TieBreak::Random, &mut rng(4));
+        assert_eq!(a.balls(), n);
+        assert_eq!(p.beta(), 0.7);
+        assert_eq!(p.n(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-choice")]
+    fn rejects_non_two_choice_scheme() {
+        OnePlusBeta::new(FullyRandom::new(64, 3, Replacement::Without), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "β must lie")]
+    fn rejects_bad_beta() {
+        OnePlusBeta::new(FullyRandom::new(64, 2, Replacement::Without), 1.5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Multi-trial experiment drivers: the aggregations behind each table.
+
+use crate::{run_process, TieBreak};
+use ba_hash::ChoiceScheme;
+use ba_rng::RngKind;
+use ba_stats::TrialAccumulator;
+
+/// Configuration for a load-distribution experiment (Tables 1–7 share this
+/// shape; only the scheme, sizes, and tie rule vary).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Balls to throw per trial.
+    pub balls: u64,
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Tie-breaking rule.
+    pub tie: TieBreak,
+    /// Master seed; trial `i` derives its stream from `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Which generator family drives the trials.
+    pub rng: RngKind,
+}
+
+impl ExperimentConfig {
+    /// A convenient default: `balls` balls, 100 trials, random ties, seed 1,
+    /// all cores.
+    pub fn new(balls: u64) -> Self {
+        Self {
+            balls,
+            trials: 100,
+            tie: TieBreak::Random,
+            seed: 1,
+            threads: 0,
+            rng: RngKind::Xoshiro,
+        }
+    }
+
+    /// Sets the trial count.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the tie-breaking rule.
+    pub fn tie(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the generator family.
+    pub fn rng(mut self, rng: RngKind) -> Self {
+        self.rng = rng;
+        self
+    }
+}
+
+/// Runs the load-distribution experiment: `trials` independent runs of
+/// "throw `balls` balls into `scheme.n()` bins", aggregated across trials.
+///
+/// The returned [`TrialAccumulator`] answers every question the paper's
+/// tables ask: mean fraction of bins at each load, per-load spread, and
+/// the distribution of per-trial maximum loads.
+pub fn run_load_experiment<S>(scheme: &S, config: &ExperimentConfig) -> TrialAccumulator
+where
+    S: ChoiceScheme + ?Sized,
+{
+    let histograms = crate::runner::run_trials(
+        config.trials,
+        config.threads,
+        config.seed,
+        |_i, seq| {
+            let mut rng = seq.rng_of(config.rng);
+            run_process(scheme, config.balls, config.tie, &mut rng.as_mut()).histogram()
+        },
+    );
+    let mut acc = TrialAccumulator::new();
+    for h in &histograms {
+        acc.push(h);
+    }
+    acc
+}
+
+/// Runs the experiment and returns only the per-trial maximum loads
+/// (Table 4 needs nothing else, and skipping histogram aggregation keeps
+/// the big-n sweeps cheap).
+pub fn run_maxload_experiment<S>(scheme: &S, config: &ExperimentConfig) -> Vec<u32>
+where
+    S: ChoiceScheme + ?Sized,
+{
+    crate::runner::run_trials(config.trials, config.threads, config.seed, |_i, seq| {
+        let mut rng = seq.rng_of(config.rng);
+        run_process(scheme, config.balls, config.tie, &mut rng.as_mut()).max_load()
+    })
+}
+
+/// Fraction of trials whose maximum load equals `m`.
+pub fn fraction_with_max_load(max_loads: &[u32], m: u32) -> f64 {
+    if max_loads.is_empty() {
+        return 0.0;
+    }
+    max_loads.iter().filter(|&&x| x == m).count() as f64 / max_loads.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_hash::{DoubleHashing, FullyRandom, Replacement};
+
+    #[test]
+    fn config_builder_chains() {
+        let c = ExperimentConfig::new(100)
+            .trials(5)
+            .tie(TieBreak::FirstOffered)
+            .seed(9)
+            .threads(2);
+        assert_eq!(c.balls, 100);
+        assert_eq!(c.trials, 5);
+        assert_eq!(c.tie, TieBreak::FirstOffered);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn load_experiment_accumulates_all_trials() {
+        let n = 256u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let acc = run_load_experiment(&scheme, &ExperimentConfig::new(n).trials(20));
+        assert_eq!(acc.trials(), 20);
+        assert_eq!(acc.bins_per_trial(), n);
+        // Fractions over all loads sum to 1.
+        let total: f64 = (0..=acc.overall_max_load() as usize)
+            .map(|l| acc.mean_fraction(l))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn experiment_is_reproducible() {
+        let scheme = FullyRandom::new(128, 3, Replacement::Without);
+        let cfg = ExperimentConfig::new(128).trials(10).seed(5);
+        let a = run_load_experiment(&scheme, &cfg);
+        let b = run_load_experiment(&scheme, &cfg);
+        for l in 0..6 {
+            assert_eq!(a.mean_fraction(l), b.mean_fraction(l));
+        }
+    }
+
+    #[test]
+    fn experiment_differs_across_seeds() {
+        let scheme = FullyRandom::new(128, 3, Replacement::Without);
+        let a = run_load_experiment(&scheme, &ExperimentConfig::new(128).trials(5).seed(1));
+        let b = run_load_experiment(&scheme, &ExperimentConfig::new(128).trials(5).seed(2));
+        // Mean fractions at load 1 will differ in some decimal place.
+        assert_ne!(a.mean_fraction(1), b.mean_fraction(1));
+    }
+
+    #[test]
+    fn maxload_experiment_matches_full_experiment() {
+        let n = 256u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let cfg = ExperimentConfig::new(n).trials(15).seed(3);
+        let maxes = run_maxload_experiment(&scheme, &cfg);
+        let acc = run_load_experiment(&scheme, &cfg);
+        assert_eq!(maxes.len(), 15);
+        let m = 3u32;
+        assert!(
+            (fraction_with_max_load(&maxes, m) - acc.max_load_fraction(m as usize)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn fraction_with_max_load_empty() {
+        assert_eq!(fraction_with_max_load(&[], 3), 0.0);
+    }
+}

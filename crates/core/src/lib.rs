@@ -1,0 +1,43 @@
+//! Balanced allocation processes — the core of the reproduction.
+//!
+//! This crate implements the sequential "power of d choices" processes the
+//! paper studies, generically over any [`ba_hash::ChoiceScheme`]:
+//!
+//! * [`Allocation`] — the mutable bins state with a `place` operation
+//!   (least-loaded of the offered choices, configurable tie breaking);
+//! * [`run_process`] — throw `m` balls into `n` bins with a scheme;
+//! * [`OnePlusBeta`] — the (1+β)-choice process of Peres–Talwar–Wieder,
+//!   included as an extension workload;
+//! * [`ChurnProcess`] — constant-population insert/delete churn (the
+//!   paper's "settings with deletions");
+//! * [`runner`] — deterministic multi-threaded trial execution;
+//! * [`experiment`] — the aggregations behind each table of the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ba_core::{run_process, TieBreak};
+//! use ba_hash::DoubleHashing;
+//! use ba_rng::Xoshiro256StarStar;
+//!
+//! let n = 1u64 << 10;
+//! let scheme = DoubleHashing::new(n, 3);
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+//! let alloc = run_process(&scheme, n, TieBreak::Random, &mut rng);
+//! // n balls in n bins with 3 choices: max load is almost surely ≤ 4 here.
+//! assert!(alloc.max_load() <= 5);
+//! assert_eq!(alloc.balls(), n);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod beta;
+mod churn;
+pub mod experiment;
+pub mod runner;
+
+pub use allocation::{run_process, Allocation, TieBreak};
+pub use beta::OnePlusBeta;
+pub use churn::{run_churn_process, ChurnProcess};

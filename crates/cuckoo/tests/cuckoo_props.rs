@@ -1,0 +1,103 @@
+//! Property-based tests for the cuckoo table.
+
+use ba_cuckoo::{CuckooTable, Insert};
+use ba_hash::{DoubleHashing, FullyRandom, Replacement};
+use ba_rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+proptest! {
+    /// Everything successfully inserted (and never displaced out) is found;
+    /// the table never stores a key outside its candidate buckets.
+    #[test]
+    fn placed_keys_live_in_candidate_buckets(
+        seed in any::<u64>(),
+        n_exp in 6u32..10,
+        d in 2usize..5,
+        fill_percent in 10u64..70,
+    ) {
+        let n = 1u64 << n_exp;
+        let scheme = FullyRandom::new(n, d, Replacement::Without);
+        let mut table = CuckooTable::new(scheme, 1000, seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 1);
+        let target = n * fill_percent / 100;
+        let mut placed = 0u64;
+        for key in 0..target {
+            if matches!(table.insert(key, &mut rng), Insert::Placed { .. }) {
+                placed += 1;
+            }
+        }
+        prop_assert_eq!(table.items(), placed);
+        prop_assert!(table.load_factor() <= 1.0);
+        // Every key the table claims to contain must be in one of its own
+        // candidate buckets (checked internally by contains()).
+        let mut found = 0u64;
+        for key in 0..target {
+            if table.contains(key) {
+                found += 1;
+            }
+        }
+        prop_assert_eq!(found, placed, "containment count mismatch");
+    }
+
+    /// Below the d-ary threshold, insertion never fails.
+    #[test]
+    fn below_threshold_never_fails(seed in any::<u64>()) {
+        let n = 1u64 << 10;
+        let scheme = DoubleHashing::new(n, 3);
+        let mut table = CuckooTable::new(scheme, 2000, seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 2);
+        // 80% fill is comfortably below the 91.8% threshold for d = 3.
+        for key in 0..(n * 8 / 10) {
+            prop_assert!(
+                matches!(table.insert(key, &mut rng), Insert::Placed { .. }),
+                "failed at load {}",
+                table.load_factor()
+            );
+        }
+    }
+
+    /// Candidate generation is a pure function of (table seed, key).
+    #[test]
+    fn candidates_stable(seed in any::<u64>(), key in any::<u64>()) {
+        let scheme = DoubleHashing::new(256, 3);
+        let table = CuckooTable::new(scheme, 10, seed);
+        let mut a = [0u64; 3];
+        let mut b = [0u64; 3];
+        table.candidates(key, &mut a);
+        table.candidates(key, &mut b);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.iter().all(|&x| x < 256));
+    }
+
+    /// Double-hashing candidates are always distinct (coprime stride).
+    #[test]
+    fn double_hash_candidates_distinct(seed in any::<u64>(), key in any::<u64>()) {
+        let scheme = DoubleHashing::new(128, 4);
+        let table = CuckooTable::new(scheme, 10, seed);
+        let mut c = [0u64; 4];
+        table.candidates(key, &mut c);
+        let mut sorted = c.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 4, "duplicates in {:?}", c);
+    }
+}
+
+/// Deterministic end-to-end check usable as a doc-style smoke test.
+#[test]
+fn lookup_after_heavy_fill() {
+    let n = 1u64 << 10;
+    let scheme = DoubleHashing::new(n, 3);
+    let mut table = CuckooTable::new(scheme, 2000, 99);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(100);
+    let mut inserted = Vec::new();
+    for key in 0..(n * 85 / 100) {
+        if matches!(table.insert(key, &mut rng), Insert::Placed { .. }) {
+            inserted.push(key);
+        }
+    }
+    for &key in &inserted {
+        assert!(table.contains(key), "lost key {key}");
+    }
+    assert!(!table.contains(u64::MAX));
+}

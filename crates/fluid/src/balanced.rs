@@ -1,0 +1,176 @@
+//! The d-choice balanced-allocation fluid limit.
+
+use crate::solver::{rkf45, OdeSystem, Rkf45Options};
+
+/// The ODE family of the paper's Section 3:
+///
+/// ```text
+/// dx_i/dt = x_{i-1}^d − x_i^d,   i = 1..=levels,
+/// x_0 ≡ 1,  x_i(0) = 0.
+/// ```
+///
+/// `x_i(t)` is the limiting fraction of bins with load **at least** `i`
+/// after `t·n` balls. The state vector holds `x_1..x_levels`; anything
+/// beyond `levels` is treated as zero, which is accurate as long as
+/// `levels` exceeds the maximum load that has non-negligible mass (the
+/// fractions decay doubly exponentially, so a handful of levels suffices
+/// for any constant `t`).
+#[derive(Debug, Clone)]
+pub struct BalancedAllocationOde {
+    d: u32,
+    levels: usize,
+}
+
+impl BalancedAllocationOde {
+    /// Creates the system for `d` choices, tracking loads `1..=levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 1` or `levels < 1`.
+    pub fn new(d: u32, levels: usize) -> Self {
+        assert!(d >= 1, "need at least one choice");
+        assert!(levels >= 1, "need at least one load level");
+        Self { d, levels }
+    }
+
+    /// The number of choices.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Integrates from the empty table to time `t` (i.e. `t·n` balls) and
+    /// returns the tail fractions `x_1..x_levels`.
+    pub fn tail_fractions(&self, t: f64) -> Vec<f64> {
+        assert!(t >= 0.0, "time must be non-negative");
+        let y0 = vec![0.0; self.levels];
+        rkf45(self, 0.0, &y0, t, &Rkf45Options::default())
+    }
+
+    /// Exact-load fractions `P(load = i)` for `i = 0..=levels`, derived from
+    /// the tails at time `t` (`P(load = i) = x_i − x_{i+1}` with `x_0 = 1`).
+    pub fn load_fractions(&self, t: f64) -> Vec<f64> {
+        let tails = self.tail_fractions(t);
+        let mut out = Vec::with_capacity(self.levels + 1);
+        let mut prev = 1.0;
+        for &x in &tails {
+            out.push(prev - x);
+            prev = x;
+        }
+        out.push(prev); // mass at load == levels (x_{levels+1} ≈ 0)
+        out
+    }
+}
+
+impl OdeSystem for BalancedAllocationOde {
+    fn dim(&self) -> usize {
+        self.levels
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let d = self.d as i32;
+        // Clamp guards the integrator's trial states, which can stray a hair
+        // outside [0,1] mid-step.
+        let p = |x: f64| x.clamp(0.0, 1.0).powi(d);
+        for i in 0..self.levels {
+            let below = if i == 0 { 1.0 } else { p(y[i - 1]) };
+            dydt[i] = below - p(y[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_choice_matches_poisson() {
+        // d = 1: loads are asymptotically Poisson(t). At t = 1 the tail
+        // P(load ≥ 1) = 1 − e^-1 ≈ 0.63212, P(load ≥ 2) = 1 − 2e^-1 ≈ 0.26424.
+        let ode = BalancedAllocationOde::new(1, 8);
+        let tails = ode.tail_fractions(1.0);
+        let e = (-1.0f64).exp();
+        assert!((tails[0] - (1.0 - e)).abs() < 1e-8, "x1 = {}", tails[0]);
+        assert!((tails[1] - (1.0 - 2.0 * e)).abs() < 1e-8, "x2 = {}", tails[1]);
+        // P(load ≥ 3) = 1 − e(1 + 1 + 1/2)e^-1 = 1 − 2.5 e^-1.
+        assert!((tails[2] - (1.0 - 2.5 * e)).abs() < 1e-8, "x3 = {}", tails[2]);
+    }
+
+    #[test]
+    fn paper_table2_values_d3() {
+        // Table 2 of the paper: d = 3, t = 1 →
+        //   x1 = 0.8231, x2 = 0.1765, x3 = 0.00051 (4-5 significant digits).
+        // An independent high-accuracy integration gives x1 = 0.8230405,
+        // x2 = 0.1764518, x3 = 0.0005077; the paper's last digit is a
+        // presentation rounding, so we assert to 2e-4.
+        let ode = BalancedAllocationOde::new(3, 10);
+        let tails = ode.tail_fractions(1.0);
+        assert!((tails[0] - 0.8230405).abs() < 1e-6, "x1 = {}", tails[0]);
+        assert!((tails[1] - 0.1764518).abs() < 1e-6, "x2 = {}", tails[1]);
+        assert!((tails[2] - 0.0005077).abs() < 1e-7, "x3 = {}", tails[2]);
+        assert!((tails[0] - 0.8231).abs() < 2e-4);
+        assert!((tails[1] - 0.1765).abs() < 2e-4);
+        assert!((tails[2] - 0.00051).abs() < 2e-5);
+    }
+
+    #[test]
+    fn paper_table1_values_d4() {
+        // Table 1(b): d = 4, n = n balls → load fractions
+        //   P(0) ≈ 0.14081, P(1) ≈ 0.71840, P(2) ≈ 0.14077, P(3) ≈ 2.3e-5.
+        let ode = BalancedAllocationOde::new(4, 10);
+        let loads = ode.load_fractions(1.0);
+        assert!((loads[0] - 0.14081).abs() < 5e-4, "P0 = {}", loads[0]);
+        assert!((loads[1] - 0.71840).abs() < 5e-4, "P1 = {}", loads[1]);
+        assert!((loads[2] - 0.14077).abs() < 5e-4, "P2 = {}", loads[2]);
+        assert!((loads[3] - 2.3e-5).abs() < 5e-6, "P3 = {}", loads[3]);
+    }
+
+    #[test]
+    fn tails_are_monotone_decreasing() {
+        let ode = BalancedAllocationOde::new(3, 12);
+        let tails = ode.tail_fractions(2.0);
+        for w in tails.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "tails not monotone: {tails:?}");
+        }
+        for &x in &tails {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn load_fractions_sum_to_one() {
+        for d in [1u32, 2, 3, 4] {
+            let ode = BalancedAllocationOde::new(d, 14);
+            let loads = ode.load_fractions(1.0);
+            let total: f64 = loads.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "d = {d}: sum = {total}");
+            assert!(loads.iter().all(|&p| p >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn mass_conservation_in_time() {
+        // The mean load Σ x_i must equal t (balls per bin).
+        let ode = BalancedAllocationOde::new(3, 20);
+        for t in [0.5, 1.0, 2.0] {
+            let tails = ode.tail_fractions(t);
+            let mean: f64 = tails.iter().sum();
+            assert!((mean - t).abs() < 1e-8, "t = {t}: mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn larger_d_concentrates_harder() {
+        // More choices push the distribution toward "everything at load 1":
+        // the tail at 2 shrinks with d.
+        let tail2 = |d| BalancedAllocationOde::new(d, 10).tail_fractions(1.0)[1];
+        assert!(tail2(2) > tail2(3));
+        assert!(tail2(3) > tail2(4));
+    }
+
+    #[test]
+    fn time_zero_is_empty() {
+        let ode = BalancedAllocationOde::new(3, 5);
+        let tails = ode.tail_fractions(0.0);
+        assert!(tails.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! The fluid limit of Vöcking's d-left scheme.
+
+use crate::solver::{rkf45, OdeSystem, Rkf45Options};
+
+/// Fluid limit for the d-left process (one choice per subtable, ties to the
+/// left), following Mitzenmacher–Vöcking's asymptotic analysis.
+///
+/// State: `y[j][i]` = fraction of the bins **of subtable j** with load
+/// ≥ `i+1` (each subtable holds `n/d` bins). A ball arriving at (scaled)
+/// rate `n` per unit time raises a subtable-`j` bin from load `i−1` to `i`
+/// when its choice in subtable `j` has load exactly `i−1`, every subtable to
+/// the left shows load ≥ `i` (a tie at `i−1` would have gone left), and
+/// every subtable to the right shows load ≥ `i−1`:
+///
+/// ```text
+/// dy_{j,i}/dt = d · (y_{j,i−1} − y_{j,i})
+///               · Π_{k<j} y_{k,i} · Π_{k>j} y_{k,i−1},    y_{j,0} ≡ 1.
+/// ```
+///
+/// The leading `d` converts balls-per-table time into balls per subtable
+/// bin. The layout is flattened row-major: component `j·levels + (i−1)`.
+#[derive(Debug, Clone)]
+pub struct DLeftOde {
+    d: usize,
+    levels: usize,
+}
+
+impl DLeftOde {
+    /// Creates the system for `d` subtables and loads `1..=levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 1` or `levels < 1`.
+    pub fn new(d: usize, levels: usize) -> Self {
+        assert!(d >= 1, "need at least one subtable");
+        assert!(levels >= 1, "need at least one load level");
+        Self { d, levels }
+    }
+
+    /// Integrates to time `t` and returns the per-subtable tail matrix
+    /// `out[j][i-1] = y_{j,i}(t)`.
+    pub fn subtable_tails(&self, t: f64) -> Vec<Vec<f64>> {
+        assert!(t >= 0.0, "time must be non-negative");
+        let y0 = vec![0.0; self.d * self.levels];
+        let y = rkf45(self, 0.0, &y0, t, &Rkf45Options::default());
+        y.chunks(self.levels).map(|c| c.to_vec()).collect()
+    }
+
+    /// Whole-table tail fractions: the fraction of *all* bins with load
+    /// ≥ i is the average of the subtable tails (subtables are equal-sized).
+    pub fn tail_fractions(&self, t: f64) -> Vec<f64> {
+        let per = self.subtable_tails(t);
+        (0..self.levels)
+            .map(|i| per.iter().map(|row| row[i]).sum::<f64>() / self.d as f64)
+            .collect()
+    }
+
+    /// Whole-table exact-load fractions `P(load = i)` for `i = 0..=levels`.
+    pub fn load_fractions(&self, t: f64) -> Vec<f64> {
+        let tails = self.tail_fractions(t);
+        let mut out = Vec::with_capacity(self.levels + 1);
+        let mut prev = 1.0;
+        for &x in &tails {
+            out.push(prev - x);
+            prev = x;
+        }
+        out.push(prev);
+        out
+    }
+}
+
+impl OdeSystem for DLeftOde {
+    fn dim(&self) -> usize {
+        self.d * self.levels
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let l = self.levels;
+        let get = |j: usize, i: usize| -> f64 {
+            // i is a load value; y_{j,0} = 1, above `levels` treated as 0.
+            if i == 0 {
+                1.0
+            } else if i > l {
+                0.0
+            } else {
+                y[j * l + (i - 1)].clamp(0.0, 1.0)
+            }
+        };
+        for j in 0..self.d {
+            for i in 1..=l {
+                let mut rate = self.d as f64 * (get(j, i - 1) - get(j, i));
+                for k in 0..self.d {
+                    if k == j {
+                        continue;
+                    }
+                    rate *= if k < j { get(k, i) } else { get(k, i - 1) };
+                }
+                dydt[j * l + (i - 1)] = rate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_one_reduces_to_single_choice_poisson() {
+        // One subtable, no competition: same as one-choice Poisson limit.
+        let ode = DLeftOde::new(1, 8);
+        let tails = ode.tail_fractions(1.0);
+        let e = (-1.0f64).exp();
+        assert!((tails[0] - (1.0 - e)).abs() < 1e-8);
+        assert!((tails[1] - (1.0 - 2.0 * e)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mass_conservation() {
+        // Mean load over the whole table must equal t.
+        let ode = DLeftOde::new(4, 12);
+        for t in [0.5, 1.0] {
+            let mean: f64 = ode.tail_fractions(t).iter().sum();
+            assert!((mean - t).abs() < 1e-7, "t = {t}: mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn tails_monotone_in_load() {
+        let ode = DLeftOde::new(3, 10);
+        let per = ode.subtable_tails(1.0);
+        for (j, row) in per.iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "subtable {j}: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn left_subtables_fill_first() {
+        // Ties to the left mean earlier subtables absorb more balls: the
+        // tail at load 1 must be non-increasing left to right.
+        let ode = DLeftOde::new(4, 10);
+        let per = ode.subtable_tails(1.0);
+        for w in per.windows(2) {
+            assert!(
+                w[0][0] >= w[1][0] - 1e-9,
+                "left subtable should be fuller: {:?} vs {:?}",
+                w[0][0],
+                w[1][0]
+            );
+        }
+    }
+
+    #[test]
+    fn dleft_beats_plain_d_choice() {
+        // Vöcking's point: asymmetry + ties-left gives a *smaller* tail at
+        // high loads than the symmetric d-choice process.
+        let d = 4;
+        let dleft = DLeftOde::new(d, 10).tail_fractions(1.0);
+        let plain = crate::BalancedAllocationOde::new(d as u32, 10).tail_fractions(1.0);
+        assert!(
+            dleft[2] < plain[2],
+            "d-left x3 = {} should beat plain x3 = {}",
+            dleft[2],
+            plain[2]
+        );
+    }
+
+    #[test]
+    fn matches_paper_table7_shape() {
+        // Table 7 (d = 4): P(0) ≈ 0.1242, P(1) ≈ 0.7516, P(2) ≈ 0.1242,
+        // and P(3) ~ 1e-9 territory at n = 2^18.
+        let ode = DLeftOde::new(4, 8);
+        let loads = ode.load_fractions(1.0);
+        assert!((loads[0] - 0.12421).abs() < 5e-4, "P0 = {}", loads[0]);
+        assert!((loads[1] - 0.75158).abs() < 1e-3, "P1 = {}", loads[1]);
+        assert!((loads[2] - 0.12421).abs() < 5e-4, "P2 = {}", loads[2]);
+        assert!(loads[3] < 1e-6, "P3 = {}", loads[3]);
+    }
+
+    #[test]
+    fn time_zero_is_empty() {
+        let ode = DLeftOde::new(3, 5);
+        assert!(ode.tail_fractions(0.0).iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Appendix B: the layered-induction extension of the fluid limit.
+//!
+//! Theorem 10 upgrades the fluid-limit result to a maximum-load bound of
+//! `log log n / log d + O(1)` by iterating the recursion
+//!
+//! ```text
+//! β_6 = n / (2e),        β_{i+1} = 4 β_i^d / n^{d-1},
+//! ```
+//!
+//! where `β_i` bounds (whp) the number of bins with load ≥ i. The
+//! induction runs while `β_i` is large enough for Chernoff concentration
+//! (`p_i = β_i^d / n^d ≥ n^{-1/5}` in the paper), after which O(1) more
+//! levels finish the argument. This module evaluates that recursion
+//! numerically, giving a concrete predicted maximum load for finite `n`
+//! that the harness compares against simulation.
+
+/// The numeric trace of the Theorem 10 recursion.
+#[derive(Debug, Clone)]
+pub struct LayeredInduction {
+    /// `levels[k]` is `β_{6+k}` (bins with load ≥ 6+k), as an f64.
+    pub levels: Vec<f64>,
+    /// The first load `i*` with `p_i < n^{-1/5}` — where the induction
+    /// hands over to the O(1) tail argument.
+    pub handover_load: u32,
+    /// `handover_load + 4`, the paper's prediction for the whp maximum
+    /// load (the tail argument adds at most ~4 more levels).
+    pub predicted_max_load: u32,
+}
+
+/// Runs the β-recursion of Theorem 10 for `n` bins and `d ≥ 3` choices.
+///
+/// # Panics
+///
+/// Panics if `d < 3` (the recursion needs `β_i ≤ n/e^{d^{i−6}}` decay,
+/// which the paper establishes for `d ≥ 3`) or `n < 16`.
+pub fn layered_induction(n: u64, d: u32) -> LayeredInduction {
+    assert!(d >= 3, "Theorem 10's recursion is stated for d >= 3");
+    assert!(n >= 16, "n too small for the asymptotic recursion");
+    let nf = n as f64;
+    let mut levels = vec![nf / (2.0 * std::f64::consts::E)]; // β_6
+    let threshold = nf.powf(-0.2); // n^{-1/5}
+    let mut load = 6u32;
+    loop {
+        let beta = *levels.last().expect("non-empty");
+        // p_{i+1} = β_i^d / n^d (probability scale of the next level).
+        let p_next = (beta / nf).powi(d as i32);
+        if p_next < threshold || levels.len() > 64 {
+            break;
+        }
+        levels.push(4.0 * p_next * nf);
+        load += 1;
+    }
+    LayeredInduction {
+        levels,
+        handover_load: load,
+        predicted_max_load: load + 4,
+    }
+}
+
+/// The asymptotic form `log_d log_2 n + O(1)` for comparison.
+pub fn asymptotic_max_load(n: u64, d: u32) -> f64 {
+    ((n as f64).log2()).ln() / (d as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_decays_doubly_exponentially() {
+        let li = layered_induction(1 << 20, 3);
+        // Each level must shrink dramatically (by at least ~e^d once small).
+        for w in li.levels.windows(2) {
+            assert!(w[1] < w[0], "β must decrease: {:?}", li.levels);
+        }
+        // And the decay accelerates: ratios shrink.
+        let ratios: Vec<f64> = li.levels.windows(2).map(|w| w[1] / w[0]).collect();
+        for r in ratios.windows(2) {
+            assert!(r[1] < r[0] * 1.01, "decay should accelerate: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn predicted_max_load_tracks_log_log_n() {
+        // Doubling the exponent of n should raise the prediction by at most
+        // ~log_d 2 + 1 level.
+        let small = layered_induction(1 << 10, 3).predicted_max_load;
+        let big = layered_induction(1 << 20, 3).predicted_max_load;
+        assert!(big >= small);
+        assert!(big - small <= 2, "log log growth only: {small} -> {big}");
+    }
+
+    #[test]
+    fn more_choices_lower_prediction() {
+        let d3 = layered_induction(1 << 18, 3).predicted_max_load;
+        let d8 = layered_induction(1 << 18, 8).predicted_max_load;
+        assert!(d8 <= d3, "d=8 {d8} should not exceed d=3 {d3}");
+    }
+
+    #[test]
+    fn prediction_is_sane_for_simulated_sizes() {
+        // At n = 2^14, d = 3 the simulated max load is 3 (Table 4 says the
+        // maximum load is 3 in ~100% of trials). The layered-induction
+        // *bound* must sit at or above that, and not absurdly higher.
+        let li = layered_induction(1 << 14, 3);
+        assert!(li.predicted_max_load >= 3);
+        assert!(
+            li.predicted_max_load <= 14,
+            "bound {} too loose to be meaningful",
+            li.predicted_max_load
+        );
+    }
+
+    #[test]
+    fn asymptotic_form_matches_direction() {
+        assert!(asymptotic_max_load(1 << 20, 3) > asymptotic_max_load(1 << 10, 3));
+        assert!(asymptotic_max_load(1 << 20, 4) < asymptotic_max_load(1 << 20, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 3")]
+    fn rejects_d2() {
+        layered_induction(1 << 10, 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fluid-limit analysis: the differential equations of Section 3.
+//!
+//! The paper's central theoretical result (Theorem 8) is that the family
+//!
+//! ```text
+//! dx_i/dt = x_{i-1}^d − x_i^d,    x_0 ≡ 1,  x_i(0) = 0 for i ≥ 1
+//! ```
+//!
+//! describes the limiting fraction `x_i` of bins with load ≥ i **both** for
+//! fully random hashing and for double hashing. This crate computes those
+//! limits numerically:
+//!
+//! * [`solver`] — generic explicit integrators (fixed-step RK4 and adaptive
+//!   RKF45) over an [`solver::OdeSystem`] trait;
+//! * [`balanced`] — the d-choice system above (Table 2's "Fluid Limit"
+//!   column);
+//! * [`dleft`] — Vöcking's d-left system (per-subtable tail fractions,
+//!   ties to the left);
+//! * [`supermarket`] — the queueing fluid limit: transient ODEs and the
+//!   closed-form equilibrium `π_i = λ^{(d^i−1)/(d−1)}`, whose Little's-law
+//!   sojourn time reproduces Table 8's theory values;
+//! * [`layered`] — Appendix B's layered-induction recursion, turning the
+//!   fluid limit into a concrete `log log n / log d + O(1)` max-load bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod dleft;
+pub mod layered;
+pub mod solver;
+pub mod supermarket;
+
+pub use balanced::BalancedAllocationOde;
+pub use dleft::DLeftOde;
+pub use layered::{asymptotic_max_load, layered_induction, LayeredInduction};
+pub use solver::{rk4, rkf45, OdeSystem, Rkf45Options};
+pub use supermarket::SupermarketOde;

@@ -1,0 +1,292 @@
+//! Explicit ODE integrators.
+//!
+//! The fluid-limit systems here are small (tens of components), smooth, and
+//! non-stiff, so classical explicit methods are the right tool: fixed-step
+//! RK4 for simplicity and an adaptive RKF45 (Runge–Kutta–Fehlberg) when the
+//! caller wants error control without hand-picking a step.
+
+/// A first-order ODE system `dy/dt = f(t, y)`.
+pub trait OdeSystem {
+    /// The number of state components.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dydt`.
+    ///
+    /// Implementations may assume `y.len() == dydt.len() == self.dim()`.
+    fn deriv(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for (usize, F) {
+    fn dim(&self) -> usize {
+        self.0
+    }
+    fn deriv(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.1)(t, y, dydt)
+    }
+}
+
+/// Integrates `system` from `(t0, y0)` to `t1` with `steps` classical
+/// fourth-order Runge–Kutta steps, returning the final state.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`, `t1 < t0`, or `y0.len() != system.dim()`.
+pub fn rk4<S: OdeSystem>(system: &S, t0: f64, y0: &[f64], t1: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "need at least one step");
+    assert!(t1 >= t0, "integration must move forward");
+    assert_eq!(y0.len(), system.dim(), "state size mismatch");
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut y = y0.to_vec();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    let mut t = t0;
+    for _ in 0..steps {
+        system.deriv(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        system.deriv(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        system.deriv(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        system.deriv(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+    }
+    y
+}
+
+/// Options for the adaptive RKF45 integrator.
+#[derive(Debug, Clone, Copy)]
+pub struct Rkf45Options {
+    /// Per-step absolute error tolerance.
+    pub tol: f64,
+    /// Initial step size.
+    pub h0: f64,
+    /// Smallest permitted step (guards against pathological systems).
+    pub h_min: f64,
+    /// Largest permitted step.
+    pub h_max: f64,
+}
+
+impl Default for Rkf45Options {
+    fn default() -> Self {
+        Self {
+            tol: 1e-10,
+            h0: 1e-3,
+            h_min: 1e-12,
+            h_max: 0.25,
+        }
+    }
+}
+
+/// Integrates `system` from `(t0, y0)` to `t1` with the adaptive
+/// Runge–Kutta–Fehlberg 4(5) method.
+///
+/// # Panics
+///
+/// Panics if `t1 < t0`, the state size mismatches, or the controller is
+/// forced below `h_min` (tolerance unreachable — stiff or singular system).
+#[allow(clippy::needless_range_loop)] // index-parallel stage arrays read clearer
+pub fn rkf45<S: OdeSystem>(
+    system: &S,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    opts: &Rkf45Options,
+) -> Vec<f64> {
+    assert!(t1 >= t0, "integration must move forward");
+    assert_eq!(y0.len(), system.dim(), "state size mismatch");
+    let n = y0.len();
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    let mut h = opts.h0.min(opts.h_max).max(opts.h_min);
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+
+    // Fehlberg coefficients.
+    const A: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+    const B: [[f64; 5]; 6] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [0.25, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
+    ];
+    // 4th-order solution weights.
+    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    // 5th-order solution weights.
+    const C5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    while t < t1 {
+        if t + h > t1 {
+            h = t1 - t;
+        }
+        for stage in 0..6 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (prev, b) in B[stage].iter().enumerate().take(stage) {
+                    acc += h * b * k[prev][i];
+                }
+                tmp[i] = acc;
+            }
+            // Split borrow: deriv writes k[stage] while reading tmp.
+            let (t_eval, y_eval) = (t + A[stage] * h, &tmp);
+            system.deriv(t_eval, y_eval, &mut k[stage]);
+        }
+        // Error estimate: |y5 - y4| per component, max norm.
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let mut e = 0.0;
+            for s in 0..6 {
+                e += (C5[s] - C4[s]) * k[s][i];
+            }
+            err = err.max((h * e).abs());
+        }
+        if err <= opts.tol || h <= opts.h_min * (1.0 + 1e-9) {
+            assert!(
+                err.is_finite(),
+                "RKF45 produced a non-finite error estimate (diverging system)"
+            );
+            // Accept the (5th-order) step.
+            for i in 0..n {
+                let mut dy = 0.0;
+                for s in 0..6 {
+                    dy += C5[s] * k[s][i];
+                }
+                y[i] += h * dy;
+            }
+            t += h;
+        }
+        // Step-size controller (standard 0.9 safety factor).
+        let scale = if err == 0.0 {
+            2.0
+        } else {
+            0.9 * (opts.tol / err).powf(0.2)
+        };
+        h = (h * scale.clamp(0.2, 2.0)).clamp(opts.h_min, opts.h_max);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = -y, y(0) = 1 → y(t) = e^-t.
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -y[0];
+        }
+    }
+
+    /// Harmonic oscillator: y'' = -y as a 2-component system; energy is
+    /// conserved, giving a long-horizon accuracy check.
+    struct Oscillator;
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = y[1];
+            dydt[1] = -y[0];
+        }
+    }
+
+    #[test]
+    fn rk4_exponential_decay() {
+        let y = rk4(&Decay, 0.0, &[1.0], 1.0, 100);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-8, "y = {}", y[0]);
+    }
+
+    #[test]
+    fn rk4_fourth_order_convergence() {
+        // Halving the step must cut the error by ~16x.
+        let exact = (-1.0f64).exp();
+        let e1 = (rk4(&Decay, 0.0, &[1.0], 1.0, 10)[0] - exact).abs();
+        let e2 = (rk4(&Decay, 0.0, &[1.0], 1.0, 20)[0] - exact).abs();
+        let ratio = e1 / e2;
+        assert!(
+            (ratio - 16.0).abs() < 3.0,
+            "convergence ratio {ratio} not ~16"
+        );
+    }
+
+    #[test]
+    fn rk4_oscillator_period() {
+        // After 2π the state must return to (1, 0).
+        let y = rk4(&Oscillator, 0.0, &[1.0, 0.0], std::f64::consts::TAU, 1000);
+        assert!((y[0] - 1.0).abs() < 1e-8);
+        assert!(y[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn rkf45_exponential_decay() {
+        let y = rkf45(&Decay, 0.0, &[1.0], 1.0, &Rkf45Options::default());
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-8, "y = {}", y[0]);
+    }
+
+    #[test]
+    fn rkf45_matches_rk4_on_oscillator() {
+        let t1 = 3.7;
+        let a = rk4(&Oscillator, 0.0, &[0.3, -0.2], t1, 4000);
+        let b = rkf45(&Oscillator, 0.0, &[0.3, -0.2], t1, &Rkf45Options::default());
+        assert!((a[0] - b[0]).abs() < 1e-7);
+        assert!((a[1] - b[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rkf45_zero_length_interval() {
+        let y = rkf45(&Decay, 1.0, &[0.5], 1.0, &Rkf45Options::default());
+        assert_eq!(y, vec![0.5]);
+    }
+
+    #[test]
+    fn closure_systems_work() {
+        let sys = (1usize, |_t: f64, y: &[f64], dydt: &mut [f64]| {
+            dydt[0] = 2.0 * y[0];
+        });
+        let y = rk4(&sys, 0.0, &[1.0], 1.0, 200);
+        assert!((y[0] - (2.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "state size")]
+    fn rk4_rejects_mismatched_state() {
+        rk4(&Decay, 0.0, &[1.0, 2.0], 1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn rk4_rejects_backward_time() {
+        rk4(&Decay, 1.0, &[1.0], 0.0, 10);
+    }
+}

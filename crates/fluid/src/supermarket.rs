@@ -1,0 +1,202 @@
+//! The supermarket (power-of-d queueing) fluid limit.
+
+use crate::solver::{rkf45, OdeSystem, Rkf45Options};
+
+/// Fluid limit of the supermarket model: Poisson arrivals at rate `λn`,
+/// `n` exponential-rate-1 servers, each arrival joining the shortest of
+/// `d` sampled queues.
+///
+/// With `s_i(t)` the fraction of queues holding at least `i` customers,
+///
+/// ```text
+/// ds_i/dt = λ (s_{i-1}^d − s_i^d) − (s_i − s_{i+1}),   s_0 ≡ 1,
+/// ```
+///
+/// whose fixed point is the famous doubly exponential tail
+/// `π_i = λ^{(d^i − 1)/(d − 1)}` (Mitzenmacher 1996; Vvedenskaya et al.
+/// 1996). Little's law then gives the equilibrium sojourn time
+/// `W = (Σ_{i≥1} π_i) / λ`, the theory value behind Table 8.
+#[derive(Debug, Clone)]
+pub struct SupermarketOde {
+    lambda: f64,
+    d: u32,
+    levels: usize,
+}
+
+impl SupermarketOde {
+    /// Creates the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < λ < 1`, `d ≥ 1`, `levels ≥ 1`.
+    pub fn new(lambda: f64, d: u32, levels: usize) -> Self {
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "arrival rate must satisfy 0 < λ < 1 for stability, got {lambda}"
+        );
+        assert!(d >= 1, "need at least one choice");
+        assert!(levels >= 1, "need at least one level");
+        Self { lambda, d, levels }
+    }
+
+    /// The arrival rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The number of choices d.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Transient tail fractions `s_1..s_levels` at time `t`, starting from
+    /// an empty system.
+    pub fn tail_fractions(&self, t: f64) -> Vec<f64> {
+        assert!(t >= 0.0, "time must be non-negative");
+        let y0 = vec![0.0; self.levels];
+        rkf45(self, 0.0, &y0, t, &Rkf45Options::default())
+    }
+
+    /// The equilibrium tails `π_i = λ^{(d^i − 1)/(d − 1)}` for
+    /// `i = 1..=levels` (`d = 1` degenerates to the M/M/1 tail `λ^i`).
+    pub fn equilibrium_tails(&self) -> Vec<f64> {
+        (1..=self.levels as u32)
+            .map(|i| {
+                let exponent = if self.d == 1 {
+                    i as f64
+                } else {
+                    ((self.d as f64).powi(i as i32) - 1.0) / (self.d as f64 - 1.0)
+                };
+                self.lambda.powf(exponent)
+            })
+            .collect()
+    }
+
+    /// Equilibrium mean queue length `Σ π_i` (customers per queue).
+    pub fn equilibrium_queue_length(&self) -> f64 {
+        self.equilibrium_tails().iter().sum()
+    }
+
+    /// Equilibrium mean sojourn time via Little's law: `W = L / λ`.
+    ///
+    /// This is the fluid-limit prediction for the "average time" columns of
+    /// the paper's Table 8.
+    pub fn equilibrium_sojourn_time(&self) -> f64 {
+        self.equilibrium_queue_length() / self.lambda
+    }
+}
+
+impl OdeSystem for SupermarketOde {
+    fn dim(&self) -> usize {
+        self.levels
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let d = self.d as i32;
+        let p = |x: f64| x.clamp(0.0, 1.0).powi(d);
+        for i in 0..self.levels {
+            let below = if i == 0 { 1.0 } else { p(y[i - 1]) };
+            let above = if i + 1 < self.levels { y[i + 1] } else { 0.0 };
+            dydt[i] = self.lambda * (below - p(y[i])) - (y[i] - above);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_d1_is_mm1() {
+        // d = 1 is an M/M/1 queue: tails λ^i, mean λ/(1−λ), sojourn 1/(1−λ).
+        let s = SupermarketOde::new(0.5, 1, 60);
+        let tails = s.equilibrium_tails();
+        assert!((tails[0] - 0.5).abs() < 1e-12);
+        assert!((tails[1] - 0.25).abs() < 1e-12);
+        assert!((s.equilibrium_queue_length() - 1.0).abs() < 1e-9);
+        assert!((s.equilibrium_sojourn_time() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table8_theory_values() {
+        // Paper Table 8 simulation means; the fluid limit should sit within
+        // a fraction of a percent of each:
+        //   λ=0.9  d=3 → 2.02805      λ=0.9  d=4 → 1.77788
+        //   λ=0.99 d=3 → 3.85967      λ=0.99 d=4 → 3.24347
+        let cases = [
+            (0.9, 3, 2.02805),
+            (0.9, 4, 1.77788),
+            (0.99, 3, 3.85967),
+            (0.99, 4, 3.24347),
+        ];
+        for (lambda, d, expected) in cases {
+            let w = SupermarketOde::new(lambda, d, 40).equilibrium_sojourn_time();
+            let rel = (w - expected).abs() / expected;
+            assert!(
+                rel < 5e-3,
+                "λ={lambda} d={d}: fluid {w} vs paper {expected} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_equilibrium() {
+        let s = SupermarketOde::new(0.9, 3, 30);
+        let transient = s.tail_fractions(200.0);
+        let eq = s.equilibrium_tails();
+        for (i, (a, b)) in transient.iter().zip(&eq).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "level {}: transient {a} vs equilibrium {b}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_fixed_point_of_ode() {
+        let s = SupermarketOde::new(0.95, 4, 25);
+        let eq = s.equilibrium_tails();
+        let mut dydt = vec![0.0; eq.len()];
+        s.deriv(0.0, &eq, &mut dydt);
+        // The last level is truncated (s_{levels+1} forced to 0), so skip it.
+        for (i, &d) in dydt.iter().take(eq.len() - 1).enumerate() {
+            assert!(d.abs() < 1e-10, "level {}: ds/dt = {d}", i + 1);
+        }
+    }
+
+    #[test]
+    fn more_choices_means_shorter_queues() {
+        let w2 = SupermarketOde::new(0.95, 2, 40).equilibrium_sojourn_time();
+        let w3 = SupermarketOde::new(0.95, 3, 40).equilibrium_sojourn_time();
+        let w4 = SupermarketOde::new(0.95, 4, 40).equilibrium_sojourn_time();
+        assert!(w2 > w3 && w3 > w4, "w2={w2} w3={w3} w4={w4}");
+    }
+
+    #[test]
+    fn heavier_load_means_longer_wait() {
+        let w90 = SupermarketOde::new(0.90, 3, 40).equilibrium_sojourn_time();
+        let w99 = SupermarketOde::new(0.99, 3, 40).equilibrium_sojourn_time();
+        assert!(w99 > w90);
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn rejects_unstable_lambda() {
+        SupermarketOde::new(1.0, 3, 10);
+    }
+
+    #[test]
+    fn tails_decay_doubly_exponentially() {
+        let s = SupermarketOde::new(0.9, 2, 10);
+        let tails = s.equilibrium_tails();
+        // π_{i+1} = λ · π_i^d: verify the recurrence.
+        for i in 0..tails.len() - 1 {
+            let predicted = 0.9 * tails[i].powi(2);
+            assert!(
+                (tails[i + 1] - predicted).abs() < 1e-12,
+                "recurrence broken at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! A closed enum over the provided schemes, for configuration-driven code.
+
+use crate::{
+    ChoiceScheme, ContiguousBlocks, DoubleHashing, FullyRandom, OneChoice, Partitioned,
+    Replacement,
+};
+use ba_rng::Rng64;
+
+/// Any of the built-in choice schemes, selected at runtime.
+///
+/// The experiment harness parses scheme names from the command line; this
+/// enum gives it a single concrete type without boxing in the hot path
+/// (enum dispatch compiles to a jump table).
+#[derive(Debug, Clone)]
+pub enum AnyScheme {
+    /// `d` independent uniform choices.
+    FullyRandom(FullyRandom),
+    /// Double hashing `f + k·g mod n`.
+    DoubleHashing(DoubleHashing),
+    /// Kenthapadi–Panigrahy contiguous blocks.
+    Blocks(ContiguousBlocks),
+    /// Vöcking layout over fully random per-subtable choices.
+    DLeftRandom(Partitioned<FullyRandom>),
+    /// Vöcking layout over double hashing.
+    DLeftDouble(Partitioned<DoubleHashing>),
+    /// Single uniform choice.
+    OneChoice(OneChoice),
+}
+
+impl AnyScheme {
+    /// Builds a scheme by name: `random`, `double`, `blocks`,
+    /// `dleft-random`, `dleft-double`, or `one`.
+    ///
+    /// Returns `None` for an unrecognized name. `n` must be divisible by
+    /// `d` for the `dleft-*` variants.
+    pub fn by_name(name: &str, n: u64, d: usize) -> Option<Self> {
+        Some(match name {
+            "random" => Self::FullyRandom(FullyRandom::new(n, d, Replacement::Without)),
+            "random-replace" => Self::FullyRandom(FullyRandom::new(n, d, Replacement::With)),
+            "double" => Self::DoubleHashing(DoubleHashing::new(n, d)),
+            "blocks" => Self::Blocks(ContiguousBlocks::new(n, d)),
+            "dleft-random" => Self::DLeftRandom(Partitioned::new(
+                FullyRandom::new(n / d as u64, d, Replacement::With),
+                n,
+            )),
+            "dleft-double" => Self::DLeftDouble(Partitioned::new(
+                DoubleHashing::new(n / d as u64, d),
+                n,
+            )),
+            "one" => Self::OneChoice(OneChoice::new(n)),
+            _ => return None,
+        })
+    }
+
+    /// The names accepted by [`AnyScheme::by_name`].
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "random",
+            "random-replace",
+            "double",
+            "blocks",
+            "dleft-random",
+            "dleft-double",
+            "one",
+        ]
+    }
+}
+
+impl ChoiceScheme for AnyScheme {
+    fn n(&self) -> u64 {
+        match self {
+            Self::FullyRandom(s) => s.n(),
+            Self::DoubleHashing(s) => s.n(),
+            Self::Blocks(s) => s.n(),
+            Self::DLeftRandom(s) => s.n(),
+            Self::DLeftDouble(s) => s.n(),
+            Self::OneChoice(s) => s.n(),
+        }
+    }
+
+    fn d(&self) -> usize {
+        match self {
+            Self::FullyRandom(s) => s.d(),
+            Self::DoubleHashing(s) => s.d(),
+            Self::Blocks(s) => s.d(),
+            Self::DLeftRandom(s) => s.d(),
+            Self::DLeftDouble(s) => s.d(),
+            Self::OneChoice(s) => s.d(),
+        }
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        match self {
+            Self::FullyRandom(s) => s.fill_choices(rng, out),
+            Self::DoubleHashing(s) => s.fill_choices(rng, out),
+            Self::Blocks(s) => s.fill_choices(rng, out),
+            Self::DLeftRandom(s) => s.fill_choices(rng, out),
+            Self::DLeftDouble(s) => s.fill_choices(rng, out),
+            Self::OneChoice(s) => s.fill_choices(rng, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn by_name_builds_every_listed_scheme() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for &name in AnyScheme::names() {
+            let d = if name == "one" { 1 } else { 4 };
+            let scheme = AnyScheme::by_name(name, 64, d)
+                .unwrap_or_else(|| panic!("{name} should parse"));
+            assert_eq!(scheme.n(), 64, "{name}");
+            assert_eq!(scheme.d(), d, "{name}");
+            let mut buf = vec![0u64; d];
+            scheme.fill_choices(&mut rng, &mut buf);
+            assert!(buf.iter().all(|&c| c < 64), "{name}: {buf:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(AnyScheme::by_name("triple", 64, 3).is_none());
+    }
+
+    #[test]
+    fn one_choice_via_name_ignores_extra_choices() {
+        // "one" always has d = 1 regardless of the requested d.
+        let scheme = AnyScheme::by_name("one", 64, 1).unwrap();
+        assert_eq!(scheme.d(), 1);
+    }
+}

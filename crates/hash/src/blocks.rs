@@ -1,0 +1,162 @@
+//! Contiguous-block choices (Kenthapadi–Panigrahy).
+
+use crate::{validate_params, ChoiceScheme};
+use ba_rng::Rng64;
+
+/// Two random choices expanded into contiguous blocks of `d/2` bins each.
+///
+/// Kenthapadi and Panigrahy (SODA 2006) showed that two uniform choices,
+/// each yielding a contiguous run of `d/2` bins, retain the
+/// `O(log log n)` maximum-load guarantee of `d` fully random choices. The
+/// paper cites this as the closest prior reduced-randomness scheme; we
+/// implement it so the harness can compare all three (fully random, double
+/// hashing, blocks) under identical workloads.
+///
+/// For odd `d` the first block gets the extra bin (`ceil(d/2)` and
+/// `floor(d/2)`).
+#[derive(Debug, Clone)]
+pub struct ContiguousBlocks {
+    n: u64,
+    d: usize,
+}
+
+impl ContiguousBlocks {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2` (a single block is just one random contiguous run —
+    /// use [`crate::OneChoice`] or a one-block variant explicitly) or
+    /// `d > n`.
+    pub fn new(n: u64, d: usize) -> Self {
+        validate_params(n, d);
+        assert!(d >= 2, "block scheme needs d >= 2 (two blocks)");
+        Self { n, d }
+    }
+}
+
+impl ChoiceScheme for ContiguousBlocks {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.d, "output buffer must hold d choices");
+        let first_len = self.d - self.d / 2; // ceil(d/2)
+        let (first, second) = out.split_at_mut(first_len);
+        for block in [first, second] {
+            if block.is_empty() {
+                continue;
+            }
+            let start = rng.gen_range(self.n);
+            let mut h = start;
+            for slot in block.iter_mut() {
+                *slot = h;
+                h += 1;
+                if h == self.n {
+                    h = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn blocks_are_contiguous_runs() {
+        let n = 32u64;
+        let scheme = ContiguousBlocks::new(n, 6);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut buf = [0u64; 6];
+        for _ in 0..300 {
+            scheme.fill_choices(&mut rng, &mut buf);
+            for w in buf[..3].windows(2).chain(buf[3..].windows(2)) {
+                assert_eq!((w[0] + 1) % n, w[1], "not contiguous: {buf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_d_splits_ceil_floor() {
+        let n = 32u64;
+        let scheme = ContiguousBlocks::new(n, 5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut buf = [0u64; 5];
+        scheme.fill_choices(&mut rng, &mut buf);
+        // First block of 3 contiguous, second block of 2 contiguous.
+        assert_eq!((buf[0] + 1) % n, buf[1]);
+        assert_eq!((buf[1] + 1) % n, buf[2]);
+        assert_eq!((buf[3] + 1) % n, buf[4]);
+    }
+
+    #[test]
+    fn d_two_is_two_independent_singletons() {
+        // With d = 2 each "block" is a single bin, so the scheme degenerates
+        // to two independent uniform choices (duplicates possible).
+        let scheme = ContiguousBlocks::new(2, 2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut buf = [0u64; 2];
+        let mut saw_duplicate = false;
+        for _ in 0..200 {
+            scheme.fill_choices(&mut rng, &mut buf);
+            assert!(buf.iter().all(|&c| c < 2));
+            saw_duplicate |= buf[0] == buf[1];
+        }
+        assert!(saw_duplicate, "independent singletons must collide sometimes");
+    }
+
+    #[test]
+    fn block_wraps_around_table_end() {
+        // n = 4, d = 4: one block of 2 starting at 3 must wrap to 0.
+        let scheme = ContiguousBlocks::new(4, 4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut buf = [0u64; 4];
+        let mut saw_wrap = false;
+        for _ in 0..500 {
+            scheme.fill_choices(&mut rng, &mut buf);
+            if buf[0] == 3 {
+                assert_eq!(buf[1], 0, "block starting at 3 must wrap: {buf:?}");
+                saw_wrap = true;
+            }
+        }
+        assert!(saw_wrap, "never observed a wrapping block in 500 draws");
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        let n = 16u64;
+        let scheme = ContiguousBlocks::new(n, 4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let trials = 160_000;
+        let mut counts = vec![0u64; n as usize];
+        let mut buf = [0u64; 4];
+        for _ in 0..trials {
+            scheme.fill_choices(&mut rng, &mut buf);
+            for &c in &buf {
+                counts[c as usize] += 1;
+            }
+        }
+        let expect = (trials * 4) as f64 / n as f64;
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bin {bin}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn rejects_single_choice() {
+        ContiguousBlocks::new(8, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Double hashing: the paper's subject.
+
+use crate::{validate_params, ChoiceScheme};
+use ba_numtheory::CoprimeSampler;
+use ba_rng::Rng64;
+
+/// Double-hashing choices: `h(k) = f + k·g mod n` for `k = 0..d`.
+///
+/// `f` is uniform over `[0, n)`; `g` is uniform over residues in `[1, n)`
+/// coprime to `n` (the paper: for `n` prime all of `[1, n)`, for `n` a power
+/// of two the odd residues; this implementation also supports arbitrary `n`
+/// via rejection sampling against `n`'s prime divisors). Because `g` is
+/// coprime to `n`, the `d ≤ n` probe values are always distinct.
+///
+/// The scheme consumes exactly two hash values (two RNG draws) per ball
+/// versus `d` for fully random hashing — the reduced-randomness property
+/// that makes it attractive in hardware and software hash tables.
+#[derive(Debug, Clone)]
+pub struct DoubleHashing {
+    n: u64,
+    d: usize,
+    stride: CoprimeSampler,
+}
+
+impl DoubleHashing {
+    /// Creates the scheme for a table of `n` bins and `d` probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `d < 1` or `d > n`.
+    pub fn new(n: u64, d: usize) -> Self {
+        validate_params(n, d);
+        assert!(n >= 2, "double hashing needs n >= 2 for a nonzero stride");
+        Self {
+            n,
+            d,
+            stride: CoprimeSampler::new(n),
+        }
+    }
+
+    /// The number of valid strides φ(n).
+    pub fn stride_count(&self) -> u64 {
+        self.stride.count()
+    }
+
+    /// Expands a given `(f, g)` pair into the probe sequence. Exposed so
+    /// analysis code (ancestry lists, witness trees) can enumerate the
+    /// deterministic part of the scheme separately from the randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.d()`, `f >= n`, or `g == 0 || g >= n`.
+    #[inline]
+    pub fn expand(&self, f: u64, g: u64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.d, "output buffer must hold d choices");
+        assert!(f < self.n, "f must be a bin index");
+        assert!(g >= 1 && g < self.n, "stride must lie in [1, n)");
+        let mut h = f;
+        for slot in out.iter_mut() {
+            *slot = h;
+            h += g;
+            if h >= self.n {
+                h -= self.n;
+            }
+        }
+    }
+}
+
+impl ChoiceScheme for DoubleHashing {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        let f = rng.gen_range(self.n);
+        let g = self.stride.sample(rng);
+        self.expand(f, g, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_numtheory::gcd;
+    use ba_rng::Xoshiro256StarStar;
+    use std::collections::HashMap;
+
+    #[test]
+    fn choices_always_distinct() {
+        for n in [7u64, 16, 15, 97, 1 << 10] {
+            let d = 4.min(n as usize);
+            let scheme = DoubleHashing::new(n, d);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(n);
+            let mut buf = vec![0u64; d];
+            for _ in 0..500 {
+                scheme.fill_choices(&mut rng, &mut buf);
+                let mut sorted = buf.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), d, "duplicate probes for n={n}: {buf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn expand_is_arithmetic_progression() {
+        let scheme = DoubleHashing::new(11, 5);
+        let mut buf = [0u64; 5];
+        scheme.expand(3, 4, &mut buf);
+        assert_eq!(buf, [3, 7, 0, 4, 8]);
+    }
+
+    #[test]
+    fn expand_wraps_modulo_n() {
+        let scheme = DoubleHashing::new(8, 3);
+        let mut buf = [0u64; 3];
+        scheme.expand(7, 7, &mut buf);
+        assert_eq!(buf, [7, 6, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn expand_rejects_zero_stride() {
+        let scheme = DoubleHashing::new(8, 3);
+        let mut buf = [0u64; 3];
+        scheme.expand(0, 0, &mut buf);
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        // Each probe position must be marginally uniform over [0, n).
+        let n = 8u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(123);
+        let trials = 80_000;
+        let mut counts = vec![[0u64; 3]; n as usize];
+        let mut buf = [0u64; 3];
+        for _ in 0..trials {
+            scheme.fill_choices(&mut rng, &mut buf);
+            for (pos, &c) in buf.iter().enumerate() {
+                counts[c as usize][pos] += 1;
+            }
+        }
+        let expect = trials as f64 / n as f64;
+        for (bin, row) in counts.iter().enumerate() {
+            for (pos, &cnt) in row.iter().enumerate() {
+                let c = cnt as f64;
+                assert!(
+                    (c - expect).abs() < 6.0 * expect.sqrt(),
+                    "bin {bin} pos {pos}: {c} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_uniform_over_ordered_pairs() {
+        // The paper's key structural property: for i != j, (h_i, h_j) is
+        // uniform over ordered pairs of distinct bins. Verify for prime n.
+        let n = 7u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(321);
+        let trials = 210_000u64;
+        let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut buf = [0u64; 3];
+        for _ in 0..trials {
+            scheme.fill_choices(&mut rng, &mut buf);
+            *pair_counts.entry((buf[0], buf[2])).or_insert(0) += 1;
+        }
+        // 42 ordered pairs of distinct bins, each expecting trials/42 = 5000.
+        assert_eq!(pair_counts.len(), 42);
+        let expect = trials as f64 / 42.0;
+        for (&pair, &c) in &pair_counts {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "pair {pair:?}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn strides_are_coprime() {
+        for n in [12u64, 16, 97, 100] {
+            let scheme = DoubleHashing::new(n, 2);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(n * 3 + 1);
+            let mut buf = [0u64; 2];
+            for _ in 0..300 {
+                scheme.fill_choices(&mut rng, &mut buf);
+                let g = (buf[1] + n - buf[0]) % n;
+                assert_eq!(gcd(g, n), 1, "stride {g} shares a factor with {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_count_matches_totient() {
+        assert_eq!(DoubleHashing::new(1 << 14, 3).stride_count(), 1 << 13);
+        assert_eq!(DoubleHashing::new(16411, 3).stride_count(), 16410);
+        assert_eq!(DoubleHashing::new(360, 3).stride_count(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn rejects_single_bin() {
+        DoubleHashing::new(1, 1);
+    }
+
+    #[test]
+    fn two_rng_draws_per_ball() {
+        // Structural check of the randomness saving: double hashing must
+        // consume exactly 2 draws per ball for power-of-two n (no rejection).
+        struct CountingRng {
+            inner: Xoshiro256StarStar,
+            draws: u64,
+        }
+        impl ba_rng::Rng64 for CountingRng {
+            fn next_u64(&mut self) -> u64 {
+                self.draws += 1;
+                self.inner.next_u64()
+            }
+        }
+        let scheme = DoubleHashing::new(1 << 10, 4);
+        let mut rng = CountingRng {
+            inner: Xoshiro256StarStar::seed_from_u64(6),
+            draws: 0,
+        };
+        let mut buf = [0u64; 4];
+        let balls = 1000;
+        for _ in 0..balls {
+            scheme.fill_choices(&mut rng, &mut buf);
+        }
+        // Lemire rejection fires with probability ~2^-54 for n = 2^10; in
+        // practice exactly 2 draws per ball.
+        assert_eq!(rng.draws, 2 * balls);
+    }
+}

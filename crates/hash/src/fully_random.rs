@@ -1,0 +1,217 @@
+//! Fully random choice generation: the paper's baseline.
+
+use crate::{validate_params, ChoiceScheme};
+use ba_rng::Rng64;
+
+/// Whether the `d` uniform choices may repeat.
+///
+/// The paper's tables sample **without** replacement (footnote 7: "We also
+/// considered d choices with replacement, but the difference was not
+/// apparent except for very small n"). Both modes are kept so that the
+/// `ablate_replacement` experiment can quantify exactly that remark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Choices are d i.i.d. uniform draws; duplicates possible.
+    With,
+    /// Choices are d distinct uniform draws (uniform over d-subsets, in
+    /// random order).
+    Without,
+}
+
+/// `d` independent uniform choices over `n` bins.
+#[derive(Debug, Clone)]
+pub struct FullyRandom {
+    n: u64,
+    d: usize,
+    replacement: Replacement,
+}
+
+impl FullyRandom {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `n == 0`, or (for [`Replacement::Without`])
+    /// `d > n`.
+    pub fn new(n: u64, d: usize, replacement: Replacement) -> Self {
+        match replacement {
+            Replacement::Without => validate_params(n, d),
+            Replacement::With => {
+                assert!(n >= 1, "need at least one bin");
+                assert!(d >= 1, "need at least one choice per ball");
+            }
+        }
+        Self { n, d, replacement }
+    }
+
+    /// The replacement mode.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+}
+
+impl ChoiceScheme for FullyRandom {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.d, "output buffer must hold d choices");
+        match self.replacement {
+            Replacement::With => {
+                for slot in out.iter_mut() {
+                    *slot = rng.gen_range(self.n);
+                }
+            }
+            Replacement::Without => {
+                // Rejection against the prefix: optimal for the small d used
+                // in balanced allocation (collision probability ~ d/n).
+                let mut filled = 0;
+                while filled < self.d {
+                    let cand = rng.gen_range(self.n);
+                    if !out[..filled].contains(&cand) {
+                        out[filled] = cand;
+                        filled += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The classical one-choice baseline (`d = 1`), giving the
+/// `log n / log log n` maximum load the paper contrasts against.
+#[derive(Debug, Clone)]
+pub struct OneChoice {
+    n: u64,
+}
+
+impl OneChoice {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "need at least one bin");
+        Self { n }
+    }
+}
+
+impl ChoiceScheme for OneChoice {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        1
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        assert_eq!(out.len(), 1, "OneChoice fills exactly one slot");
+        out[0] = rng.gen_range(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn without_replacement_distinct() {
+        let scheme = FullyRandom::new(8, 8, Replacement::Without);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut buf = [0u64; 8];
+        for _ in 0..200 {
+            scheme.fill_choices(&mut rng, &mut buf);
+            let mut sorted = buf;
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+    }
+
+    #[test]
+    fn with_replacement_allows_duplicates() {
+        // n = 2, d = 4: duplicates are certain.
+        let scheme = FullyRandom::new(2, 4, Replacement::With);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut buf = [0u64; 4];
+        scheme.fill_choices(&mut rng, &mut buf);
+        let mut sorted = buf;
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn without_replacement_rejects_d_exceeding_n() {
+        FullyRandom::new(3, 4, Replacement::Without);
+    }
+
+    #[test]
+    fn with_replacement_permits_d_exceeding_n() {
+        let scheme = FullyRandom::new(3, 4, Replacement::With);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut buf = [0u64; 4];
+        scheme.fill_choices(&mut rng, &mut buf);
+        assert!(buf.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        // Each position of the choice vector must be marginally uniform.
+        let n = 8u64;
+        let trials = 80_000;
+        for repl in [Replacement::With, Replacement::Without] {
+            let scheme = FullyRandom::new(n, 3, repl);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(77);
+            let mut buf = [0u64; 3];
+            let mut counts = vec![[0u64; 3]; n as usize];
+            for _ in 0..trials {
+                scheme.fill_choices(&mut rng, &mut buf);
+                for (pos, &c) in buf.iter().enumerate() {
+                    counts[c as usize][pos] += 1;
+                }
+            }
+            let expect = trials as f64 / n as f64;
+            for (bin, row) in counts.iter().enumerate() {
+                for (pos, &cnt) in row.iter().enumerate() {
+                    let c = cnt as f64;
+                    assert!(
+                        (c - expect).abs() < 6.0 * expect.sqrt(),
+                        "{repl:?} bin {bin} pos {pos}: {c} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_choice_basics() {
+        let scheme = OneChoice::new(16);
+        assert_eq!(scheme.d(), 1);
+        assert_eq!(scheme.n(), 16);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        let mut buf = [0u64; 1];
+        for _ in 0..100 {
+            scheme.fill_choices(&mut rng, &mut buf);
+            assert!(buf[0] < 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer")]
+    fn wrong_buffer_length_panics() {
+        let scheme = FullyRandom::new(8, 3, Replacement::Without);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        let mut buf = [0u64; 2];
+        scheme.fill_choices(&mut rng, &mut buf);
+    }
+}

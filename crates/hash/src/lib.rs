@@ -1,0 +1,165 @@
+//! Choice-sequence schemes for balanced allocation.
+//!
+//! A balanced-allocation process needs, for each arriving ball, a vector of
+//! `d` bin indices. How that vector is generated is *the* object of study in
+//! "Balanced Allocations and Double Hashing" (Mitzenmacher, SPAA 2014):
+//!
+//! * [`FullyRandom`] — `d` independent uniform choices, with or without
+//!   replacement (the paper's baseline, its "fully random hashing");
+//! * [`DoubleHashing`] — the paper's subject: choices `f + k·g mod n` for
+//!   `k = 0..d`, with `f` uniform on `[0,n)` and `g` uniform over residues
+//!   coprime to `n`;
+//! * [`ContiguousBlocks`] — the Kenthapadi–Panigrahy variant (two random
+//!   choices, each expanded into a contiguous block of `d/2` bins), included
+//!   for ablation against another reduced-randomness scheme;
+//! * [`Partitioned`] — adapter that maps any scheme over `n/d` bins onto
+//!   Vöcking's `d`-left layout (one choice per subtable, left to right);
+//! * [`OneChoice`] — the classical single-choice baseline.
+//!
+//! All schemes implement the object-safe [`ChoiceScheme`] trait and write
+//! their choices into a caller-provided slice, so the simulator's hot loop
+//! performs zero allocation per ball.
+//!
+//! # Example
+//!
+//! ```
+//! use ba_hash::{ChoiceScheme, DoubleHashing, FullyRandom, Replacement};
+//! use ba_rng::{Rng64, Xoshiro256StarStar};
+//!
+//! let n = 1 << 10;
+//! let dh = DoubleHashing::new(n, 3);
+//! let fr = FullyRandom::new(n, 3, Replacement::Without);
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let mut buf = [0u64; 3];
+//! dh.fill_choices(&mut rng, &mut buf);
+//! assert!(buf.iter().all(|&b| b < n));
+//! // Double hashing choices are always distinct (stride coprime to n):
+//! assert!(buf[0] != buf[1] && buf[1] != buf[2] && buf[0] != buf[2]);
+//! fr.fill_choices(&mut rng, &mut buf);
+//! assert!(buf.iter().all(|&b| b < n));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod any;
+mod blocks;
+mod double_hashing;
+mod fully_random;
+mod partitioned;
+
+pub use any::AnyScheme;
+pub use blocks::ContiguousBlocks;
+pub use double_hashing::DoubleHashing;
+pub use fully_random::{FullyRandom, OneChoice, Replacement};
+pub use partitioned::Partitioned;
+
+use ba_rng::Rng64;
+
+/// A generator of `d` bin choices per ball over a table of `n` bins.
+///
+/// Implementations must be `Send + Sync`: the experiment harness shares one
+/// immutable scheme across worker threads, with all mutable state confined
+/// to the per-thread RNG.
+pub trait ChoiceScheme: Send + Sync {
+    /// The number of bins `n`.
+    fn n(&self) -> u64;
+
+    /// The number of choices per ball `d`.
+    fn d(&self) -> usize;
+
+    /// Writes the choices for one ball into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != self.d()`.
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]);
+
+    /// Convenience wrapper returning the choices as a fresh vector.
+    ///
+    /// Test/analysis code only — hot loops should reuse a buffer through
+    /// [`ChoiceScheme::fill_choices`].
+    fn choices(&self, rng: &mut dyn Rng64) -> Vec<u64> {
+        let mut out = vec![0u64; self.d()];
+        self.fill_choices(rng, &mut out);
+        out
+    }
+}
+
+impl<S: ChoiceScheme + ?Sized> ChoiceScheme for &S {
+    fn n(&self) -> u64 {
+        (**self).n()
+    }
+    fn d(&self) -> usize {
+        (**self).d()
+    }
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        (**self).fill_choices(rng, out)
+    }
+}
+
+/// Validates common scheme parameters; shared by constructors.
+pub(crate) fn validate_params(n: u64, d: usize) {
+    assert!(n >= 1, "need at least one bin");
+    assert!(d >= 1, "need at least one choice per ball");
+    assert!(
+        (d as u64) <= n,
+        "cannot make {d} distinct choices over {n} bins"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    /// All schemes must produce indices < n and exactly d of them.
+    #[test]
+    fn all_schemes_produce_valid_indices() {
+        let n = 64u64;
+        let d = 4usize;
+        let schemes: Vec<Box<dyn ChoiceScheme>> = vec![
+            Box::new(FullyRandom::new(n, d, Replacement::With)),
+            Box::new(FullyRandom::new(n, d, Replacement::Without)),
+            Box::new(DoubleHashing::new(n, d)),
+            Box::new(ContiguousBlocks::new(n, d)),
+            Box::new(Partitioned::new(DoubleHashing::new(n / d as u64, d), n)),
+            Box::new(Partitioned::new(
+                FullyRandom::new(n / d as u64, d, Replacement::With),
+                n,
+            )),
+        ];
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        for scheme in &schemes {
+            assert_eq!(scheme.n(), n);
+            assert_eq!(scheme.d(), d);
+            let mut buf = vec![0u64; d];
+            for _ in 0..500 {
+                scheme.fill_choices(&mut rng, &mut buf);
+                for &c in buf.iter() {
+                    assert!(c < n, "choice {c} out of range for n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choices_vec_matches_fill() {
+        let scheme = DoubleHashing::new(101, 3);
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(5);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(5);
+        let v = scheme.choices(&mut r1);
+        let mut buf = [0u64; 3];
+        scheme.fill_choices(&mut r2, &mut buf);
+        assert_eq!(v.as_slice(), &buf);
+    }
+
+    #[test]
+    fn scheme_trait_object_through_reference() {
+        let scheme = FullyRandom::new(10, 2, Replacement::Without);
+        let by_ref: &dyn ChoiceScheme = &scheme;
+        let nested = &by_ref;
+        assert_eq!(nested.n(), 10);
+        assert_eq!(nested.d(), 2);
+    }
+}

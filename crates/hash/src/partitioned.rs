@@ -1,0 +1,161 @@
+//! The d-left (Vöcking) subtable layout as an adapter over any scheme.
+
+use crate::ChoiceScheme;
+use ba_rng::Rng64;
+
+/// Maps an inner scheme over `m = n/d` bins onto Vöcking's `d`-left layout:
+/// subtable `k` occupies bins `[k·m, (k+1)·m)`, and the `k`-th choice of the
+/// inner scheme is placed in subtable `k`.
+///
+/// * `Partitioned::new(FullyRandom::new(m, d, Replacement::With), n)` is
+///   exactly Vöcking's original scheme: one independent uniform choice per
+///   subtable. (Replacement is irrelevant across subtables — the offsets
+///   make collisions impossible — but `With` matches "independent".)
+/// * `Partitioned::new(DoubleHashing::new(m, d), n)` is the paper's
+///   double-hashing variant of d-left (Table 7): one `(f, g)` pair drawn
+///   over the subtable size, probe `k` landing in subtable `k`.
+#[derive(Debug, Clone)]
+pub struct Partitioned<S> {
+    inner: S,
+    n: u64,
+    subtable: u64,
+}
+
+impl<S: ChoiceScheme> Partitioned<S> {
+    /// Wraps `inner` (a scheme over `n / inner.d()` bins) into the `d`-left
+    /// layout over `n` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is an exact multiple of `inner.d()` with
+    /// `n / inner.d() == inner.n()`.
+    pub fn new(inner: S, n: u64) -> Self {
+        let d = inner.d() as u64;
+        assert!(d >= 1, "inner scheme must make at least one choice");
+        assert_eq!(
+            n % d,
+            0,
+            "table size {n} must divide evenly into {d} subtables"
+        );
+        let subtable = n / d;
+        assert_eq!(
+            inner.n(),
+            subtable,
+            "inner scheme covers {} bins but each subtable has {subtable}",
+            inner.n()
+        );
+        Self { inner, n, subtable }
+    }
+
+    /// The subtable size `n / d`.
+    pub fn subtable_size(&self) -> u64 {
+        self.subtable
+    }
+
+    /// A reference to the wrapped scheme.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ChoiceScheme> ChoiceScheme for Partitioned<S> {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        self.inner.d()
+    }
+
+    #[inline]
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        self.inner.fill_choices(rng, out);
+        let mut offset = 0u64;
+        for slot in out.iter_mut() {
+            *slot += offset;
+            offset += self.subtable;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DoubleHashing, FullyRandom, Replacement};
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn choice_k_lands_in_subtable_k() {
+        let n = 64u64;
+        let d = 4usize;
+        let m = n / d as u64;
+        let schemes: Vec<Box<dyn ChoiceScheme>> = vec![
+            Box::new(Partitioned::new(
+                FullyRandom::new(m, d, Replacement::With),
+                n,
+            )),
+            Box::new(Partitioned::new(DoubleHashing::new(m, d), n)),
+        ];
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let mut buf = vec![0u64; d];
+        for scheme in &schemes {
+            for _ in 0..300 {
+                scheme.fill_choices(&mut rng, &mut buf);
+                for (k, &c) in buf.iter().enumerate() {
+                    let lo = k as u64 * m;
+                    assert!(
+                        (lo..lo + m).contains(&c),
+                        "choice {c} at position {k} outside subtable [{lo}, {})",
+                        lo + m
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtable_size_accessor() {
+        let p = Partitioned::new(FullyRandom::new(16, 4, Replacement::With), 64);
+        assert_eq!(p.subtable_size(), 16);
+        assert_eq!(p.inner().n(), 16);
+    }
+
+    #[test]
+    fn per_subtable_marginals_uniform() {
+        let n = 32u64;
+        let d = 4usize;
+        let m = n / d as u64;
+        let scheme = Partitioned::new(DoubleHashing::new(m, d), n);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let trials = 80_000;
+        let mut counts = vec![0u64; n as usize];
+        let mut buf = vec![0u64; d];
+        for _ in 0..trials {
+            scheme.fill_choices(&mut rng, &mut buf);
+            for &c in &buf {
+                counts[c as usize] += 1;
+            }
+        }
+        // Each bin is hit once per ball when its subtable's choice lands on
+        // it: expectation trials / m.
+        let expect = trials as f64 / m as f64;
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bin {bin}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_indivisible_table() {
+        Partitioned::new(FullyRandom::new(10, 3, Replacement::With), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "subtable")]
+    fn rejects_mismatched_inner_size() {
+        Partitioned::new(FullyRandom::new(10, 4, Replacement::With), 64);
+    }
+}

@@ -1,0 +1,555 @@
+//! Number-theoretic utilities for double hashing on arbitrary table sizes.
+//!
+//! Double hashing for a table of size `n` draws the stride `g(j)` uniformly
+//! from the residues *coprime to n* so that the probe sequence
+//! `f + k·g mod n` visits `n` distinct bins. The paper notes the two easy
+//! cases — `n` prime (every nonzero residue works) and `n` a power of two
+//! (every odd residue works) — but a production library must serve any `n`.
+//! This crate provides the pieces:
+//!
+//! * [`gcd`], [`extended_gcd`], [`mod_inverse`] — basic modular arithmetic;
+//! * [`mul_mod`], [`pow_mod`] — overflow-free 64-bit modular ops;
+//! * [`is_prime`] — deterministic Miller–Rabin for all `u64`;
+//! * [`next_prime`], [`prev_prime`] — prime search for choosing table sizes;
+//! * [`factorize`], [`euler_totient`] — Pollard-rho factorization and φ(n),
+//!   the count of valid double-hashing strides;
+//! * [`CoprimeSampler`] — uniform sampling of residues coprime to `n`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ba_rng::Rng64;
+
+/// Greatest common divisor (Euclid's algorithm).
+///
+/// `gcd(0, 0) == 0` by convention.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b)` and `a·x + b·y = g` (over signed
+/// 128-bit integers, so no overflow for any `u64` inputs).
+pub fn extended_gcd(a: u64, b: u64) -> (u64, i128, i128) {
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_x, mut x) = (1i128, 0i128);
+    let (mut old_y, mut y) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_x, x) = (x, old_x - q * x);
+        (old_y, y) = (y, old_y - q * y);
+    }
+    (old_r as u64, old_x, old_y)
+}
+
+/// Modular inverse of `a` modulo `m`, if it exists (i.e. `gcd(a, m) == 1`).
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = extended_gcd(a % m, m);
+    if g != 1 {
+        return None;
+    }
+    Some((x.rem_euclid(m as i128)) as u64)
+}
+
+/// `(a * b) mod m` without overflow.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod(result, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// Deterministic Miller–Rabin primality test, correct for all `u64`.
+///
+/// Uses the seven-witness set {2, 325, 9375, 28178, 450775, 9780504,
+/// 1795265022}, proven sufficient for n < 2^64 (Sinclair / Feitsma–Galway).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n - 1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for a in [2u64, 325, 9375, 28178, 450775, 9780504, 1795265022] {
+        let a = a % n;
+        if a == 0 {
+            continue;
+        }
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime `>= n` (`None` if the search would exceed `u64::MAX`).
+pub fn next_prime(n: u64) -> Option<u64> {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return Some(c);
+        }
+        c = c.checked_add(1)?;
+    }
+}
+
+/// Largest prime `<= n` (`None` if `n < 2`).
+pub fn prev_prime(n: u64) -> Option<u64> {
+    let mut c = n;
+    loop {
+        if c < 2 {
+            return None;
+        }
+        if is_prime(c) {
+            return Some(c);
+        }
+        c -= 1;
+    }
+}
+
+/// Prime factorization of `n` as sorted `(prime, exponent)` pairs.
+///
+/// Trial division by small primes, then Pollard's rho for the remaining
+/// cofactor. Handles all `u64` comfortably.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut factors: Vec<(u64, u32)> = Vec::new();
+    if n <= 1 {
+        return factors;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            let mut e = 0;
+            while n.is_multiple_of(p) {
+                n /= p;
+                e += 1;
+            }
+            factors.push((p, e));
+        }
+    }
+    // Recursively split the cofactor with Pollard rho.
+    let mut stack = Vec::new();
+    if n > 1 {
+        stack.push(n);
+    }
+    let mut found: Vec<u64> = Vec::new();
+    while let Some(m) = stack.pop() {
+        if is_prime(m) {
+            found.push(m);
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    found.sort_unstable();
+    let mut i = 0;
+    while i < found.len() {
+        let p = found[i];
+        let mut e = 0;
+        while i < found.len() && found[i] == p {
+            e += 1;
+            i += 1;
+        }
+        factors.push((p, e));
+    }
+    factors.sort_unstable();
+    factors
+}
+
+/// Pollard's rho (Floyd cycle detection). `n` must be composite and free of
+/// the small primes stripped by [`factorize`].
+fn pollard_rho(n: u64) -> u64 {
+    debug_assert!(!is_prime(n) && n > 1);
+    // Deterministic parameter walk: try c = 1, 2, ... until a factor drops.
+    for c in 1u64.. {
+        let f = |x: u64| add_mod(mul_mod(x, x, n), c, n);
+        let (mut x, mut y, mut d) = (2u64, 2u64, 1u64);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+        }
+        if d != n {
+            return d;
+        }
+    }
+    unreachable!("pollard_rho exhausted parameter space")
+}
+
+/// Euler's totient φ(n): the number of residues in `[1, n)` coprime to `n` —
+/// i.e. the number of valid double-hashing strides for table size `n`.
+pub fn euler_totient(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut phi = n;
+    for (p, _) in factorize(n) {
+        phi = phi / p * (p - 1);
+    }
+    phi
+}
+
+/// Uniform sampler over residues in `[1, n)` coprime to `n`.
+///
+/// Strategy depends on the structure of `n`:
+/// * `n` prime → draw uniform in `[1, n)` directly;
+/// * `n` a power of two → draw a uniform odd residue directly;
+/// * otherwise → rejection-sample against the distinct prime divisors of
+///   `n`. The acceptance probability is `φ(n)/n = Ω(1/log log n)`, so
+///   rejection terminates after O(1) expected draws.
+#[derive(Debug, Clone)]
+pub struct CoprimeSampler {
+    n: u64,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    /// n prime: all of [1, n) is coprime.
+    Prime,
+    /// n = 2^k: odd residues are coprime.
+    PowerOfTwo,
+    /// General n: rejection against the distinct prime divisors.
+    Rejection { primes: Vec<u64> },
+}
+
+impl CoprimeSampler {
+    /// Builds a sampler for modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no stride in `[1, n)` exists for n < 2).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "coprime sampling needs modulus >= 2, got {n}");
+        let kind = if is_prime(n) {
+            SamplerKind::Prime
+        } else if n.is_power_of_two() {
+            SamplerKind::PowerOfTwo
+        } else {
+            SamplerKind::Rejection {
+                primes: factorize(n).into_iter().map(|(p, _)| p).collect(),
+            }
+        };
+        Self { n, kind }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of valid strides, φ(n).
+    pub fn count(&self) -> u64 {
+        match &self.kind {
+            SamplerKind::Prime => self.n - 1,
+            SamplerKind::PowerOfTwo => self.n / 2,
+            SamplerKind::Rejection { .. } => euler_totient(self.n),
+        }
+    }
+
+    /// Draws a uniform residue in `[1, n)` coprime to `n`.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.kind {
+            SamplerKind::Prime => 1 + rng.gen_range(self.n - 1),
+            SamplerKind::PowerOfTwo => {
+                if self.n == 2 {
+                    1
+                } else {
+                    // Uniform odd residue in [1, n): 2k+1 for k in [0, n/2).
+                    2 * rng.gen_range(self.n / 2) + 1
+                }
+            }
+            SamplerKind::Rejection { primes } => loop {
+                let cand = 1 + rng.gen_range(self.n - 1);
+                if primes.iter().all(|&p| !cand.is_multiple_of(p)) {
+                    return cand;
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+        assert_eq!(gcd(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240u64, 46u64), (17, 13), (0, 7), (7, 0), (1 << 40, 3)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b));
+            assert_eq!(a as i128 * x + b as i128 * y, g as i128);
+        }
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let m = 1_000_003; // prime
+        for a in [1u64, 2, 999, 1_000_002] {
+            let inv = mod_inverse(a, m).unwrap();
+            assert_eq!(mul_mod(a, inv, m), 1);
+        }
+        assert_eq!(mod_inverse(4, 8), None);
+        assert_eq!(mod_inverse(3, 1), Some(0));
+        assert_eq!(mod_inverse(3, 0), None);
+    }
+
+    #[test]
+    fn mul_mod_no_overflow() {
+        let big = u64::MAX - 58;
+        assert_eq!(mul_mod(big - 1, big - 1, big), 1); // (-1)^2 ≡ 1
+    }
+
+    #[test]
+    fn pow_mod_fermat_little() {
+        let p = 1_000_000_007u64;
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(5, 3, 1), 0);
+    }
+
+    #[test]
+    fn primality_small_values() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+                79, 83, 89, 97
+            ]
+        );
+    }
+
+    #[test]
+    fn primality_known_large() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(1_000_000_009));
+        assert!(!is_prime(1_000_000_007u64.wrapping_mul(3)));
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime 2^61 - 1
+        assert!(!is_prime(u64::MAX));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest prime < 2^64
+    }
+
+    #[test]
+    fn primality_strong_pseudoprimes() {
+        // Strong pseudoprimes to base 2 must be rejected.
+        for n in [2047u64, 3277, 4033, 4681, 8321, 15841, 29341] {
+            assert!(!is_prime(n), "{n} is composite");
+        }
+        // Carmichael numbers.
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(n), "{n} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn prime_search() {
+        assert_eq!(next_prime(0), Some(2));
+        assert_eq!(next_prime(14), Some(17));
+        assert_eq!(next_prime(17), Some(17));
+        assert_eq!(next_prime(1 << 14), Some(16411));
+        assert_eq!(prev_prime(1 << 14), Some(16381));
+        assert_eq!(prev_prime(2), Some(2));
+        assert_eq!(prev_prime(1), None);
+        assert_eq!(next_prime(u64::MAX), None);
+    }
+
+    #[test]
+    fn factorize_matches_reconstruction() {
+        for n in [1u64, 2, 12, 97, 360, 1 << 20, 1_000_000_007, 600_851_475_143] {
+            let f = factorize(n);
+            if n <= 1 {
+                assert!(f.is_empty());
+            } else {
+                let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+                assert_eq!(prod, n, "factors of {n}: {f:?}");
+                for &(p, _) in &f {
+                    assert!(is_prime(p), "non-prime factor {p} of {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_semiprime() {
+        // Product of two large primes exercises Pollard rho.
+        let p = 1_000_000_007u64;
+        let q = 998_244_353u64;
+        let mut expected = vec![(q, 1), (p, 1)];
+        expected.sort_unstable();
+        assert_eq!(factorize(p * q), expected);
+    }
+
+    #[test]
+    fn totient_known_values() {
+        assert_eq!(euler_totient(0), 0);
+        assert_eq!(euler_totient(1), 1);
+        assert_eq!(euler_totient(2), 1);
+        assert_eq!(euler_totient(9), 6);
+        assert_eq!(euler_totient(10), 4);
+        assert_eq!(euler_totient(1 << 14), 1 << 13);
+        assert_eq!(euler_totient(97), 96);
+        assert_eq!(euler_totient(360), 96);
+    }
+
+    #[test]
+    fn totient_brute_force_agreement() {
+        for n in 1u64..=300 {
+            let brute = (1..=n).filter(|&k| gcd(k, n) == 1).count() as u64;
+            assert_eq!(euler_totient(n), brute, "φ({n})");
+        }
+    }
+
+    #[test]
+    fn coprime_sampler_prime_modulus() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let s = CoprimeSampler::new(16411);
+        assert_eq!(s.count(), 16410);
+        for _ in 0..1000 {
+            let g = s.sample(&mut rng);
+            assert!((1..16411).contains(&g));
+        }
+    }
+
+    #[test]
+    fn coprime_sampler_power_of_two() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let s = CoprimeSampler::new(1 << 14);
+        assert_eq!(s.count(), 1 << 13);
+        for _ in 0..1000 {
+            let g = s.sample(&mut rng);
+            assert_eq!(g % 2, 1, "stride must be odd for power-of-two modulus");
+            assert!(g < (1 << 14));
+        }
+    }
+
+    #[test]
+    fn coprime_sampler_modulus_two() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let s = CoprimeSampler::new(2);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn coprime_sampler_general_modulus() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let n = 360u64; // 2^3 · 3^2 · 5
+        let s = CoprimeSampler::new(n);
+        assert_eq!(s.count(), 96);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let g = s.sample(&mut rng);
+            assert_eq!(gcd(g, n), 1, "sampled {g} not coprime to {n}");
+            seen.insert(g);
+        }
+        // All 96 coprime residues should appear in 20k draws.
+        assert_eq!(seen.len(), 96);
+    }
+
+    #[test]
+    fn coprime_sampler_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let s = CoprimeSampler::new(15); // φ(15) = 8: {1,2,4,7,8,11,13,14}
+        let mut counts = std::collections::HashMap::new();
+        let n = 80_000;
+        for _ in 0..n {
+            *counts.entry(s.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 8);
+        let expect = n as f64 / 8.0;
+        for (&g, &c) in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "residue {g}: count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus >= 2")]
+    fn coprime_sampler_rejects_tiny_modulus() {
+        CoprimeSampler::new(1);
+    }
+}

@@ -1,0 +1,159 @@
+//! A deterministic future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time.
+///
+/// Ordering is by time, then by insertion sequence — so two events at the
+/// same instant fire in the order they were scheduled, making the whole
+/// simulation deterministic for a fixed RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent<E> {
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// Insertion sequence number (assigned by [`EventQueue::push`]).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: PartialEq> Eq for TimedEvent<E> {}
+
+impl<E: PartialEq> PartialOrd for TimedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: PartialEq> Ord for TimedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timed events with FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: PartialEq> {
+    heap: BinaryHeap<TimedEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(TimedEvent { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<TimedEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1u32);
+        q.push(1.0, 2u32);
+        q.push(1.0, 3u32);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(5.5, ());
+        q.push(2.5, ());
+        assert_eq!(q.peek_time(), Some(2.5));
+        assert_eq!(q.pop().unwrap().time, 2.5);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(10.0, "late");
+        q.push(1.0, "early");
+        assert_eq!(q.pop().unwrap().event, "early");
+        q.push(5.0, "middle");
+        assert_eq!(q.pop().unwrap().event, "middle");
+        assert_eq!(q.pop().unwrap().event, "late");
+    }
+}

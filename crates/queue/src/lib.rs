@@ -1,0 +1,22 @@
+//! Discrete-event simulation of the supermarket model.
+//!
+//! Table 8 of the paper runs the continuous variant of balanced allocation:
+//! customers arrive as a Poisson process of rate `λn` to a bank of `n` FIFO
+//! queues with exponential(1) service, each joining the shortest of `d`
+//! sampled queues — where the `d` samples come from either fully random
+//! hashing or double hashing. This crate is that simulator:
+//!
+//! * [`EventQueue`] — a deterministic binary-heap future-event list;
+//! * [`SupermarketSim`] — the model itself, generic over
+//!   [`ba_hash::ChoiceScheme`];
+//! * [`SojournStats`] — mean time-in-system with burn-in, the quantity the
+//!   paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod supermarket;
+
+pub use event::{EventQueue, TimedEvent};
+pub use supermarket::{SojournStats, SupermarketSim};

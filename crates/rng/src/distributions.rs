@@ -1,0 +1,287 @@
+//! Non-uniform distributions needed by the simulators.
+//!
+//! The supermarket-model experiments (Table 8 of the paper) need exponential
+//! service times and Poisson-process arrivals; the branching-process
+//! validation of Lemma 6 needs geometric and Bernoulli draws. All samplers
+//! use inverse-CDF or counting methods — simple, branch-predictable, and
+//! exactly reproducible across platforms using only `f64::ln`.
+
+use crate::Rng64;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Sampled by inversion: `-ln(U)/lambda` with `U` uniform on `(0,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be positive and finite, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The mean `1/lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.gen_open_f64().ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with mean `mean`.
+///
+/// For small means, uses Knuth's product-of-uniforms counting method; for
+/// large means (> 30) uses the normal approximation with continuity
+/// correction, which is accurate to well below the sampling noise of any
+/// experiment in this workspace and avoids O(mean) work per draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Poisson mean must be positive and finite, got {mean}"
+        );
+        Self { mean }
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.mean <= 30.0 {
+            // Knuth: count uniforms until their product drops below e^-mean.
+            let limit = (-self.mean).exp();
+            let mut product = rng.gen_open_f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen_open_f64();
+                count += 1;
+            }
+            count
+        } else {
+            // Normal approximation N(mean, mean), clamped at zero.
+            let z = gaussian(rng);
+            let x = self.mean + self.mean.sqrt() * z + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+}
+
+/// Geometric distribution on `{0, 1, 2, ...}`: number of failures before the
+/// first success with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric success probability must be in (0,1], got {p}"
+        );
+        Self { p }
+    }
+
+    /// Draws a sample by inversion: `floor(ln U / ln(1-p))`.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = rng.gen_open_f64();
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+/// Bernoulli distribution: `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        Self { p }
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (one value per call;
+/// the second is discarded for simplicity — the callers here are not normal-
+/// sampling bound).
+fn gaussian<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.gen_open_f64();
+    let u2 = rng.gen_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let d = Exponential::new(2.0);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x > 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}, want 0.5");
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > 1) for rate 1 is e^-1 ≈ 0.3679.
+        let mut r = rng();
+        let d = Exponential::new(1.0);
+        let n = 200_000;
+        let tail = (0..n).filter(|_| d.sample(&mut r) > 1.0).count();
+        let frac = tail as f64 / n as f64;
+        assert!((frac - 0.3679).abs() < 0.01, "tail fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng();
+        let d = Poisson::new(3.0);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_normal_branch() {
+        let mut r = rng();
+        let d = Poisson::new(1000.0);
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        // Variance should also be near 1000 for a Poisson.
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!((var - 1000.0).abs() < 60.0, "var {var}");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // Mean of failures-before-success is (1-p)/p = 3 for p = 0.25.
+        let mut r = rng();
+        let d = Geometric::new(0.25);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_always_zero() {
+        let mut r = rng();
+        let d = Geometric::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        let always = Bernoulli::new(1.0);
+        let never = Bernoulli::new(0.0);
+        for _ in 0..100 {
+            assert!(always.sample(&mut r));
+            assert!(!never.sample(&mut r));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let z = gaussian(&mut r);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

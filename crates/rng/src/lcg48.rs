@@ -1,0 +1,141 @@
+//! `Lcg48`: a faithful reimplementation of POSIX `drand48`.
+//!
+//! The paper's experiments use "the standard approach of simply generating
+//! successive random values using the drand48 function in C initially seeded
+//! by time" as the proxy for fully random hashing. We reimplement exactly
+//! that 48-bit linear congruential generator so the harness can ablate the
+//! PRNG choice (`tables -- ablate_prng`): if results with a 1988-era LCG and
+//! with xoshiro256** agree, the conclusions do not hinge on PRNG quality.
+//!
+//! Recurrence: `x_{k+1} = (a·x_k + c) mod 2^48` with `a = 0x5DEECE66D`,
+//! `c = 0xB`. `drand48` returns the 48 state bits scaled to `[0,1)`;
+//! `lrand48` returns the top 31 bits.
+
+use crate::Rng64;
+
+/// The `drand48` 48-bit LCG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg48 {
+    state: u64, // only low 48 bits used
+}
+
+const A: u64 = 0x5DEE_CE66D;
+const C: u64 = 0xB;
+const MASK48: u64 = (1 << 48) - 1;
+
+impl Lcg48 {
+    /// Equivalent of `srand48(seed)`: the 32-bit seed forms the high bits of
+    /// the state, with the low 16 bits set to the magic 0x330E.
+    pub fn srand48(seed: u32) -> Self {
+        Self {
+            state: ((seed as u64) << 16) | 0x330E,
+        }
+    }
+
+    /// Creates a generator from a full 48-bit state (like `seed48`).
+    pub fn from_state48(state: u64) -> Self {
+        Self {
+            state: state & MASK48,
+        }
+    }
+
+    /// Advances the LCG and returns the new 48-bit state.
+    #[inline]
+    fn step(&mut self) -> u64 {
+        self.state = A.wrapping_mul(self.state).wrapping_add(C) & MASK48;
+        self.state
+    }
+
+    /// `drand48`: uniform double in `[0, 1)` using all 48 state bits.
+    #[inline]
+    pub fn drand48(&mut self) -> f64 {
+        self.step() as f64 * (1.0 / (1u64 << 48) as f64)
+    }
+
+    /// `lrand48`: uniform non-negative long in `[0, 2^31)`.
+    #[inline]
+    pub fn lrand48(&mut self) -> u64 {
+        self.step() >> 17
+    }
+}
+
+impl Rng64 for Lcg48 {
+    /// Concatenates two 48-bit steps (taking 32 high-quality high bits from
+    /// each) to produce 64 bits. The high bits of an LCG have the longest
+    /// period, so this is the least-bad way to widen drand48's output.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.step() >> 16; // 32 bits
+        let lo = self.step() >> 16; // 32 bits
+        (hi << 32) | lo
+    }
+
+    /// drand48-style range generation: floor(drand48() * bound), matching how
+    /// C simulations of this era actually drew bin indices.
+    #[inline]
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let x = (self.drand48() * bound as f64) as u64;
+        // Guard against the (impossible for bound < 2^48, but cheap) edge
+        // where floating rounding returns exactly `bound`.
+        x.min(bound - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from glibc: after srand48(0), the first lrand48()
+    /// calls yield this sequence.
+    #[test]
+    fn matches_glibc_lrand48_seed_zero() {
+        let mut rng = Lcg48::srand48(0);
+        let expected = [366850414u64, 1610402240, 206956554, 1869309841];
+        for &e in &expected {
+            assert_eq!(rng.lrand48(), e);
+        }
+    }
+
+    #[test]
+    fn drand48_in_unit_interval_and_deterministic() {
+        let mut a = Lcg48::srand48(12345);
+        let mut b = Lcg48::srand48(12345);
+        for _ in 0..1000 {
+            let x = a.drand48();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.drand48());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = Lcg48::srand48(999);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(7) < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut rng = Lcg48::srand48(424242);
+        let mut counts = [0u64; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(8) as usize] += 1;
+        }
+        let expect = n as f64 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_masked_to_48_bits() {
+        let rng = Lcg48::from_state48(u64::MAX);
+        assert_eq!(rng.state, MASK48);
+    }
+}

@@ -1,0 +1,281 @@
+//! Deterministic pseudo-random number generation for the balanced-allocations
+//! reproduction.
+//!
+//! The paper ("Balanced Allocations and Double Hashing", Mitzenmacher, SPAA
+//! 2014) uses C's `drand48` seeded by time as its proxy for fully random
+//! hashing. For a reproducible experimental harness we instead provide a
+//! small suite of modern, well-understood generators:
+//!
+//! * [`SplitMix64`] — the canonical seeding/stream-splitting generator,
+//! * [`Xoshiro256StarStar`] — the workhorse generator used by default,
+//! * [`Pcg64`] — an independent family used to cross-check results,
+//! * [`Lcg48`] — a faithful reimplementation of `drand48`'s 48-bit LCG so
+//!   the paper's exact randomness source can be ablated against.
+//!
+//! All generators implement the object-safe [`Rng64`] trait, and everything
+//! in this crate is `no_std`-style pure computation (no OS entropy, no
+//! global state): a seed fully determines every experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use ba_rng::{Rng64, Xoshiro256StarStar};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let x = rng.gen_range(10);          // uniform in [0, 10)
+//! assert!(x < 10);
+//! let f = rng.gen_f64();              // uniform in [0, 1)
+//! assert!((0.0..1.0).contains(&f));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounded;
+mod distributions;
+mod lcg48;
+mod pcg;
+mod seed;
+mod splitmix;
+mod xoshiro;
+
+pub use distributions::{Bernoulli, Exponential, Geometric, Poisson};
+pub use lcg48::Lcg48;
+pub use pcg::Pcg64;
+pub use seed::{RngKind, SeedSequence};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256StarStar;
+
+/// A deterministic 64-bit pseudo-random number generator.
+///
+/// This is the only abstraction the rest of the workspace programs against.
+/// It is object safe, so simulation code can hold a `&mut dyn Rng64` where
+/// generic dispatch would bloat compile times; hot loops use generics.
+pub trait Rng64 {
+    /// Returns the next 64 uniformly distributed pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and typically
+    /// a single multiplication per draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        bounded::lemire(self, bound)
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    fn gen_range_from(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range_from requires lo < hi");
+        lo + self.gen_range(hi - lo)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling yields [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling (`ln` of the result is finite).
+    #[inline]
+    fn gen_open_f64(&mut self) -> f64 {
+        loop {
+            let x = self.gen_f64();
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.gen_f64() < p
+    }
+
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Samples `k` *distinct* values from `[0, n)` uniformly, writing them to
+    /// `out` in selection order.
+    ///
+    /// This is the "d choices without replacement" primitive from the paper's
+    /// experiments (footnote 7: the reported tables sample the d bins without
+    /// replacement). For the small `k` used in balanced allocation (`k = d ≤
+    /// 8` or so) a linear-scan rejection loop beats any set structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    fn sample_distinct(&mut self, n: u64, k: usize, out: &mut Vec<u64>) {
+        assert!(
+            (k as u64) <= n,
+            "cannot sample {k} distinct values from a universe of {n}"
+        );
+        out.clear();
+        while out.len() < k {
+            let cand = self.gen_range(n);
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+
+    /// Shuffles `slice` in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_from_respects_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range_from(100, 200);
+            assert!((100..200).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn gen_range_from_rejects_empty_range() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        rng.gen_range_from(5, 5);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f), "{f} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn gen_open_f64_never_zero() {
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..10_000 {
+            assert!(rng.gen_open_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_mean_close_to_p() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean} too far from 0.3");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitMix64::new(9);
+        for len in 0..32 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // Not all-zero for non-trivial lengths (prob. astronomically small).
+            if len >= 4 {
+                assert!(buf.iter().any(|&b| b != 0), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_yields_unique_values() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            rng.sample_distinct(16, 4, &mut out);
+            assert_eq!(out.len(), 4);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {out:?}");
+            assert!(out.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_universe_is_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        let mut out = Vec::new();
+        rng.sample_distinct(6, 6, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn sample_distinct_rejects_oversized_k() {
+        let mut rng = SplitMix64::new(0);
+        let mut out = Vec::new();
+        rng.sample_distinct(3, 4, &mut out);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let dynrng: &mut dyn Rng64 = &mut rng;
+        let x = dynrng.gen_range(10);
+        assert!(x < 10);
+    }
+}

@@ -1,0 +1,161 @@
+//! xoshiro256**: the workspace's default generator.
+//!
+//! xoshiro256** (Blackman & Vigna 2018) has a 256-bit state, period
+//! 2^256 − 1, passes BigCrush, and costs a handful of ALU ops per draw —
+//! exactly what we want in the hot loops of a balls-and-bins simulator that
+//! draws billions of values per table.
+
+use crate::{Rng64, SplitMix64};
+
+/// The xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator from a full 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be nonzero");
+        Self { s }
+    }
+
+    /// Seeds the 256-bit state by running SplitMix64 on `seed`, as the
+    /// generator's authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output is equidistributed so an all-zero expansion can
+        // only arise from one specific seed per position; guard regardless.
+        if s.iter().all(|&w| w == 0) {
+            return Self { s: [GOLDEN_FALLBACK, 0, 0, 0] };
+        }
+        Self { s }
+    }
+
+    /// The `jump()` function: advances the state by 2^128 draws.
+    ///
+    /// Calling `jump` k times on clones produces k non-overlapping
+    /// subsequences of length 2^128 — an alternative to
+    /// [`crate::SeedSequence`] for deriving parallel streams.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180ec6d33cfd0aba,
+            0xd5a61266f0c9392c,
+            0xa9582618e03fc9aa,
+            0x39abdc4529b1661c,
+        ];
+        let mut t = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j >> b) & 1 == 1 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= si;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+const GOLDEN_FALLBACK: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Rng64 for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs from the public-domain xoshiro256starstar.c with
+    /// state {1, 2, 3, 4}.
+    #[test]
+    fn matches_reference_vector() {
+        let mut rng = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            11520,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+            607988272756665600,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_state_rejected() {
+        Xoshiro256StarStar::from_state([0; 4]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256StarStar::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256StarStar::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jump_streams_do_not_collide_early() {
+        let base = Xoshiro256StarStar::seed_from_u64(7);
+        let mut s1 = base.clone();
+        let mut s2 = base.clone();
+        s2.jump();
+        let v1: Vec<u64> = (0..64).map(|_| s1.next_u64()).collect();
+        let v2: Vec<u64> = (0..64).map(|_| s2.next_u64()).collect();
+        assert_ne!(v1, v2);
+        // No element-wise equality run either.
+        let eq = v1.iter().zip(&v2).filter(|(a, b)| a == b).count();
+        assert!(eq < 4, "suspiciously many collisions: {eq}");
+    }
+
+    #[test]
+    fn uniformity_smoke_chi_square() {
+        // 16 buckets, 160k draws: chi-square with 15 dof, mean 15, sd ~5.5.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(12345);
+        let mut counts = [0u64; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[(rng.next_u64() >> 60) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 50.0, "chi-square {chi2} too large for uniform output");
+    }
+}

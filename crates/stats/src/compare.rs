@@ -1,0 +1,179 @@
+//! Two-sample comparison tests.
+//!
+//! The paper's claim is *negative*: double hashing and fully random hashing
+//! are statistically indistinguishable. To make that claim checkable by the
+//! harness (and by CI), we compute standard test statistics and assert they
+//! stay below detection thresholds.
+
+/// Two-proportion z-statistic.
+///
+/// Given `x1` successes of `n1` and `x2` of `n2`, returns the pooled
+/// z-statistic for the null hypothesis that both proportions are equal.
+/// |z| < 1.96 means the difference is within 95% sampling noise.
+///
+/// Returns 0 when a variance of 0 makes the statistic undefined (both
+/// proportions 0 or both 1 — identical by construction).
+///
+/// # Panics
+///
+/// Panics if `x1 > n1`, `x2 > n2`, or either sample is empty.
+pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> f64 {
+    assert!(n1 > 0 && n2 > 0, "samples must be non-empty");
+    assert!(x1 <= n1 && x2 <= n2, "successes cannot exceed sample size");
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (p1 - p2) / var.sqrt()
+}
+
+/// Pearson chi-square statistic between two count vectors over the same
+/// categories (homogeneity test with pooled expectation).
+///
+/// Categories where both samples have zero counts contribute nothing.
+/// Degrees of freedom for interpretation: (non-empty categories − 1).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or either sums to zero.
+pub fn chi_square_statistic(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "count vectors must align");
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(ta > 0 && tb > 0, "both samples must be non-empty");
+    let (ta, tb) = (ta as f64, tb as f64);
+    let grand = ta + tb;
+    let mut chi2 = 0.0;
+    for (&ca, &cb) in a.iter().zip(b) {
+        let row = (ca + cb) as f64;
+        if row == 0.0 {
+            continue;
+        }
+        let ea = row * ta / grand;
+        let eb = row * tb / grand;
+        let da = ca as f64 - ea;
+        let db = cb as f64 - eb;
+        chi2 += da * da / ea + db * db / eb;
+    }
+    chi2
+}
+
+/// Welch's t-statistic for two samples with unequal variances.
+///
+/// Returns `(t, degrees_of_freedom)` using the Welch–Satterthwaite
+/// approximation. Suitable for comparing mean sojourn times (Table 8).
+///
+/// Returns `(0, large)` when both variances are zero and the means are
+/// equal; `(inf, ...)` when variances are zero but means differ.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than 2 observations.
+pub fn welch_t(mean1: f64, var1: f64, n1: u64, mean2: f64, var2: f64, n2: u64) -> (f64, f64) {
+    assert!(n1 >= 2 && n2 >= 2, "Welch's t needs at least 2 observations");
+    let s1 = var1 / n1 as f64;
+    let s2 = var2 / n2 as f64;
+    let se2 = s1 + s2;
+    if se2 == 0.0 {
+        return if mean1 == mean2 {
+            (0.0, f64::INFINITY)
+        } else {
+            (f64::INFINITY, f64::INFINITY)
+        };
+    }
+    let t = (mean1 - mean2) / se2.sqrt();
+    let df = se2 * se2
+        / (s1 * s1 / (n1 as f64 - 1.0) + s2 * s2 / (n2 as f64 - 1.0));
+    (t, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_zero_for_identical_proportions() {
+        assert_eq!(two_proportion_z(50, 100, 500, 1000), 0.0);
+    }
+
+    #[test]
+    fn z_zero_when_degenerate() {
+        assert_eq!(two_proportion_z(0, 100, 0, 100), 0.0);
+        assert_eq!(two_proportion_z(100, 100, 100, 100), 0.0);
+    }
+
+    #[test]
+    fn z_known_value() {
+        // p1 = 0.6 (60/100), p2 = 0.5 (50/100); pooled = 0.55.
+        // se = sqrt(0.55·0.45·(0.01+0.01)) ≈ 0.070356; z ≈ 1.4213.
+        let z = two_proportion_z(60, 100, 50, 100);
+        assert!((z - 1.4213).abs() < 1e-3, "z = {z}");
+    }
+
+    #[test]
+    fn z_sign_reflects_direction() {
+        assert!(two_proportion_z(70, 100, 50, 100) > 0.0);
+        assert!(two_proportion_z(30, 100, 50, 100) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn z_rejects_empty_sample() {
+        two_proportion_z(0, 0, 1, 10);
+    }
+
+    #[test]
+    fn chi_square_zero_for_proportional_samples() {
+        let a = [10u64, 20, 30];
+        let b = [100u64, 200, 300];
+        assert!(chi_square_statistic(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_positive_for_differing_samples() {
+        let a = [10u64, 90];
+        let b = [90u64, 10];
+        let chi2 = chi_square_statistic(&a, &b);
+        // Strongly significant: expected ~64 per cell deviation.
+        assert!(chi2 > 50.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn chi_square_ignores_jointly_empty_categories() {
+        let a = [10u64, 0, 20];
+        let b = [12u64, 0, 18];
+        let chi2 = chi_square_statistic(&a, &b);
+        assert!(chi2.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn chi_square_rejects_mismatched_lengths() {
+        chi_square_statistic(&[1, 2], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn welch_t_zero_for_equal_means() {
+        let (t, df) = welch_t(5.0, 1.0, 100, 5.0, 1.0, 100);
+        assert_eq!(t, 0.0);
+        assert!(df > 100.0);
+    }
+
+    #[test]
+    fn welch_t_known_direction_and_scale() {
+        // Means differ by 1, se = sqrt(1/100 + 1/100) ≈ 0.1414 → t ≈ 7.07.
+        let (t, _) = welch_t(6.0, 1.0, 100, 5.0, 1.0, 100);
+        assert!((t - 7.071).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn welch_t_degenerate_variances() {
+        let (t, _) = welch_t(5.0, 0.0, 10, 5.0, 0.0, 10);
+        assert_eq!(t, 0.0);
+        let (t, _) = welch_t(6.0, 0.0, 10, 5.0, 0.0, 10);
+        assert!(t.is_infinite());
+    }
+}

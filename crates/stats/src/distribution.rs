@@ -1,0 +1,178 @@
+//! Whole-distribution comparisons: Kolmogorov–Smirnov and quantiles.
+//!
+//! The sojourn-time experiments (Table 8) compare *means*; a stronger
+//! check — used in the integration tests — is that the entire sojourn-time
+//! distributions under fully random and double hashing coincide. The
+//! two-sample KS statistic provides that, with `ks_critical_value` giving
+//! the rejection threshold.
+
+/// The two-sample Kolmogorov–Smirnov statistic: the maximum absolute
+/// difference between the two empirical CDFs.
+///
+/// Inputs are sorted internally (hence `&mut`). NaNs are rejected.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &mut [f64], b: &mut [f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    assert!(
+        a.iter().chain(b.iter()).all(|x| !x.is_nan()),
+        "samples must not contain NaN"
+    );
+    a.sort_unstable_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    b.sort_unstable_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d_max = 0.0f64;
+    while i < a.len() && j < b.len() {
+        // Step past the next observation value in *both* samples, so ties
+        // contribute a single CDF evaluation point.
+        let t = if a[i] < b[j] { a[i] } else { b[j] };
+        while i < a.len() && a[i] <= t {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= t {
+            j += 1;
+        }
+        let d = (i as f64 / na - j as f64 / nb).abs();
+        d_max = d_max.max(d);
+    }
+    d_max
+}
+
+/// Approximate critical value for the two-sample KS test at significance
+/// `alpha` (e.g. 0.05): `c(α) · sqrt((n+m)/(n·m))` with
+/// `c(α) = sqrt(−ln(α/2)/2)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha < 1` and both sizes are positive.
+pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / (n as f64 * m as f64)).sqrt()
+}
+
+/// The `q`-quantile of `sorted` (ascending) by linear interpolation
+/// (type-7, the R/NumPy default).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, unsorted, or `q` outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "need at least one observation");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_zero_for_identical_samples() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut b = a.clone();
+        assert_eq!(ks_statistic(&mut a, &mut b), 0.0);
+    }
+
+    #[test]
+    fn ks_one_for_disjoint_supports() {
+        let mut a = vec![0.0, 1.0, 2.0];
+        let mut b = vec![10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&mut a, &mut b), 1.0);
+    }
+
+    #[test]
+    fn ks_known_half_shift() {
+        // a = {0..n}, b = a + large shift on half the mass.
+        let mut a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut b: Vec<f64> = (0..100).map(|i| i as f64 + 50.0).collect();
+        let d = ks_statistic(&mut a, &mut b);
+        assert!((d - 0.5).abs() < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_scale_difference() {
+        use ba_rng_for_tests::*;
+        let mut a: Vec<f64> = sample_uniform(2000, 1, 1.0);
+        let mut b: Vec<f64> = sample_uniform(2000, 2, 2.0);
+        let d = ks_statistic(&mut a, &mut b);
+        assert!(d > ks_critical_value(2000, 2000, 0.01), "d = {d}");
+    }
+
+    #[test]
+    fn ks_accepts_same_distribution() {
+        use ba_rng_for_tests::*;
+        let mut a: Vec<f64> = sample_uniform(2000, 3, 1.0);
+        let mut b: Vec<f64> = sample_uniform(2000, 4, 1.0);
+        let d = ks_statistic(&mut a, &mut b);
+        assert!(
+            d < ks_critical_value(2000, 2000, 0.001),
+            "false alarm: d = {d}"
+        );
+    }
+
+    /// Tiny local LCG so ba-stats stays dependency-free even in tests.
+    mod ba_rng_for_tests {
+        pub fn sample_uniform(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    scale * (state >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        assert!(ks_critical_value(100, 100, 0.05) > ks_critical_value(10_000, 10_000, 0.05));
+        assert!(ks_critical_value(100, 100, 0.01) > ks_critical_value(100, 100, 0.05));
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 0.25), 2.0);
+        // Interpolated point.
+        assert!((quantile(&v, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_empty_panics() {
+        ks_statistic(&mut [], &mut [1.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The harness prints tables shaped like the paper's (load column followed
+//! by one column per scheme). This is a tiny fixed-width renderer — no
+//! external dependency is warranted for right-aligned monospace columns.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// ```
+/// use ba_stats::Table;
+///
+/// let mut t = Table::new(&["Load", "Fully Random", "Double Hashing"]);
+/// t.row(&["0", "0.17693", "0.17691"]);
+/// t.row(&["1", "0.64664", "0.64670"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Fully Random"));
+/// assert!(rendered.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with right-aligned columns and a header rule.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction the way the paper prints it: five decimal places for
+/// ordinary magnitudes, scientific notation with two decimals below 1e-4,
+/// and a bare `0` for exact zero.
+pub fn format_fraction(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-4 {
+        format!("{x:.2e}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["123456", "1"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].ends_with("   1"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["x", "y"]);
+        let r = t.render();
+        assert_eq!(r.lines().count(), 2);
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new(&["a"]);
+        t.row_owned(vec!["v".to_string()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn format_fraction_modes() {
+        assert_eq!(format_fraction(0.0), "0");
+        assert_eq!(format_fraction(0.17693), "0.17693");
+        assert_eq!(format_fraction(2.25e-5), "2.25e-5");
+        assert_eq!(format_fraction(0.00051), "0.00051");
+    }
+}

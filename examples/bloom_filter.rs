@@ -1,0 +1,53 @@
+//! "Less hashing, same performance" — Bloom filters with double hashing.
+//!
+//! The paper's §1.1 cites Kirsch–Mitzenmacher: deriving a Bloom filter's k
+//! probe positions from two hash values instead of k changes nothing about
+//! its false-positive rate. This example builds the same filter three ways
+//! and measures it.
+//!
+//! ```text
+//! cargo run --release --example bloom_filter
+//! ```
+
+use balanced_allocations::prelude::*;
+
+fn main() {
+    let n = 100_000u64; // keys inserted
+    let queries = 500_000u64; // negative lookups
+    println!("Bloom filter, {n} keys inserted, {queries} negative queries\n");
+    println!(
+        "{:>9} {:>3} {:>10} {:>13} {:>15} {:>16}",
+        "target p", "k", "theory", "independent", "double hashing", "enhanced double"
+    );
+
+    for target in [0.1f64, 0.01, 0.001] {
+        let mut measured = Vec::new();
+        let mut k = 0;
+        let mut theory = 0.0;
+        for strategy in [
+            ProbeStrategy::Independent,
+            ProbeStrategy::DoubleHashing,
+            ProbeStrategy::EnhancedDouble,
+        ] {
+            let mut filter = BloomFilter::with_rate(n, target, strategy, 2014);
+            for key in 0..n {
+                filter.insert(key);
+            }
+            k = filter.k();
+            theory = filter.theoretical_fpr();
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            measured.push(filter.measure_fpr(queries, &mut rng));
+        }
+        println!(
+            "{target:>9} {k:>3} {theory:>10.5} {:>13.5} {:>15.5} {:>16.5}",
+            measured[0], measured[1], measured[2]
+        );
+    }
+
+    println!(
+        "\nAll three columns agree with the theoretical rate: the k-probe \
+         positions only need to *look* independent at the bit-vector level, \
+         and an arithmetic progression from two hashes suffices — the same \
+         phenomenon the paper proves for balanced allocations."
+    );
+}

@@ -1,0 +1,45 @@
+//! Cuckoo hashing at the load threshold, under both hashing disciplines.
+//!
+//! The paper's conclusion asks whether double hashing is "free" for cuckoo
+//! hashing too (answered empirically in Mitzenmacher–Thaler 2012: yes).
+//! This example fills d-ary cuckoo tables until the first insertion
+//! failure and compares the achieved load against the known thresholds.
+//!
+//! ```text
+//! cargo run --release --example cuckoo_table
+//! ```
+
+use balanced_allocations::prelude::*;
+
+fn mean_threshold(name: &str, n: u64, d: usize, trials: u64) -> f64 {
+    let seq = SeedSequence::new(77);
+    let mut w = Welford::new();
+    for t in 0..trials {
+        let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+        let mut table = CuckooTable::new(scheme, 5_000, seq.child(t).derive_u64());
+        let mut rng = seq.child(t).child(1).xoshiro();
+        w.push(table.fill_until_failure(&mut rng));
+    }
+    w.mean()
+}
+
+fn main() {
+    let n = 1u64 << 12;
+    let trials = 10;
+    println!("d-ary cuckoo hashing: load factor at first insertion failure");
+    println!("(n = {n} buckets, 1 slot each, random-walk insertion, {trials} trials)\n");
+    println!(
+        "{:>3} {:>14} {:>16} {:>12}",
+        "d", "fully random", "double hashing", "literature"
+    );
+    for (d, lit) in [(2usize, 0.5), (3, 0.918), (4, 0.977)] {
+        let fr = mean_threshold("random", n, d, trials);
+        let dh = mean_threshold("double", n, d, trials);
+        println!("{d:>3} {fr:>14.4} {dh:>16.4} {lit:>12.3}");
+    }
+    println!(
+        "\nBoth disciplines hit the same thresholds. Lookups under double \
+         hashing cost two hash computations instead of d — free capacity \
+         for hardware tables."
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the paper's headline experiment in ~40 lines.
+//!
+//! Throws n balls into n bins with d = 3 choices, once with fully random
+//! choices and once with double hashing, and prints the load distributions
+//! side by side (compare with Table 1 of the paper).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use balanced_allocations::prelude::*;
+use balanced_allocations::stats::format_fraction;
+
+fn main() {
+    let n = 1u64 << 14;
+    let d = 3;
+    let trials = 100;
+
+    println!("{n} balls into {n} bins, least-loaded of {d} choices, {trials} trials\n");
+
+    let config = ExperimentConfig::new(n).trials(trials).seed(1);
+    let random = run_load_experiment(&FullyRandom::new(n, d, Replacement::Without), &config);
+    let double = run_load_experiment(&DoubleHashing::new(n, d), &config);
+
+    println!("{:>4}  {:>14}  {:>14}", "Load", "Fully Random", "Double Hashing");
+    let max_load = random.overall_max_load().max(double.overall_max_load());
+    for load in 0..=max_load as usize {
+        println!(
+            "{:>4}  {:>14}  {:>14}",
+            load,
+            format_fraction(random.mean_fraction(load)),
+            format_fraction(double.mean_fraction(load)),
+        );
+    }
+
+    // The fluid limit predicts the same numbers for both (Theorem 8):
+    let fluid = BalancedAllocationOde::new(d as u32, 8).load_fractions(1.0);
+    println!("\nFluid-limit prediction (n = infinity):");
+    for (load, p) in fluid.iter().enumerate().take(max_load as usize + 1) {
+        println!("{load:>4}  {}", format_fraction(*p));
+    }
+
+    println!(
+        "\nMax load seen: random = {}, double hashing = {}",
+        random.overall_max_load(),
+        double.overall_max_load()
+    );
+}

@@ -1,0 +1,210 @@
+//! Integration tests asserting the paper's *claims* end to end: double
+//! hashing and fully random hashing are statistically indistinguishable
+//! across every workload the paper evaluates, and both match the fluid
+//! limit.
+
+use balanced_allocations::prelude::*;
+use balanced_allocations::stats::two_proportion_z;
+
+const N: u64 = 1 << 12;
+const TRIALS: u64 = 60;
+
+fn pair(n: u64, d: usize) -> (FullyRandom, DoubleHashing) {
+    (
+        FullyRandom::new(n, d, Replacement::Without),
+        DoubleHashing::new(n, d),
+    )
+}
+
+/// z-statistic comparing the load-i bin counts pooled over all trials.
+fn load_z(a: &TrialAccumulator, b: &TrialAccumulator, load: usize) -> f64 {
+    let bins_a = a.trials() * a.bins_per_trial();
+    let bins_b = b.trials() * b.bins_per_trial();
+    let xa = (a.mean_fraction(load) * bins_a as f64).round() as u64;
+    let xb = (b.mean_fraction(load) * bins_b as f64).round() as u64;
+    two_proportion_z(xa, bins_a, xb, bins_b)
+}
+
+#[test]
+fn standard_process_indistinguishable_d3() {
+    let (fr, dh) = pair(N, 3);
+    let cfg = ExperimentConfig::new(N).trials(TRIALS).seed(11);
+    let a = run_load_experiment(&fr, &cfg);
+    let b = run_load_experiment(&dh, &cfg);
+    for load in 0..=2 {
+        let z = load_z(&a, &b, load);
+        assert!(
+            z.abs() < 4.0,
+            "load {load}: z = {z} — schemes distinguishable"
+        );
+    }
+}
+
+#[test]
+fn standard_process_indistinguishable_d4() {
+    let (fr, dh) = pair(N, 4);
+    let cfg = ExperimentConfig::new(N).trials(TRIALS).seed(12);
+    let a = run_load_experiment(&fr, &cfg);
+    let b = run_load_experiment(&dh, &cfg);
+    for load in 0..=2 {
+        let z = load_z(&a, &b, load);
+        assert!(z.abs() < 4.0, "load {load}: z = {z}");
+    }
+}
+
+#[test]
+fn both_schemes_match_fluid_limit() {
+    let (fr, dh) = pair(N, 3);
+    let cfg = ExperimentConfig::new(N).trials(TRIALS).seed(13);
+    let fluid = BalancedAllocationOde::new(3, 8).load_fractions(1.0);
+    for (name, acc) in [
+        ("random", run_load_experiment(&fr, &cfg)),
+        ("double", run_load_experiment(&dh, &cfg)),
+    ] {
+        for (load, fluid_p) in fluid.iter().enumerate().take(3) {
+            let sim = acc.mean_fraction(load);
+            assert!(
+                (sim - fluid_p).abs() < 0.005,
+                "{name} load {load}: sim {sim} vs fluid {fluid_p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavily_loaded_case_indistinguishable() {
+    // Table 6 shape: m = 16n balls; compare the dominant loads 15..17.
+    let n = 1u64 << 10;
+    let m = n * 16;
+    let (fr, dh) = pair(n, 3);
+    let cfg = ExperimentConfig::new(m).trials(40).seed(14);
+    let a = run_load_experiment(&fr, &cfg);
+    let b = run_load_experiment(&dh, &cfg);
+    for load in 15..=17 {
+        let z = load_z(&a, &b, load);
+        assert!(z.abs() < 4.0, "load {load}: z = {z}");
+    }
+    // Mean load must be 16 in both.
+    let mean = |acc: &TrialAccumulator| -> f64 {
+        (0..40).map(|l| l as f64 * acc.mean_fraction(l)).sum()
+    };
+    assert!((mean(&a) - 16.0).abs() < 1e-9);
+    assert!((mean(&b) - 16.0).abs() < 1e-9);
+}
+
+#[test]
+fn dleft_indistinguishable_and_tighter() {
+    // Table 7 shape: Vöcking's scheme with both disciplines, plus the
+    // d-left ODE as the reference.
+    let n = 1u64 << 12;
+    let d = 4;
+    let m = n / d as u64;
+    let fr = Partitioned::new(FullyRandom::new(m, d, Replacement::With), n);
+    let dh = Partitioned::new(DoubleHashing::new(m, d), n);
+    let cfg = ExperimentConfig::new(n)
+        .trials(TRIALS)
+        .seed(15)
+        .tie(TieBreak::FirstOffered);
+    let a = run_load_experiment(&fr, &cfg);
+    let b = run_load_experiment(&dh, &cfg);
+    for load in 0..=2 {
+        let z = load_z(&a, &b, load);
+        assert!(z.abs() < 4.0, "load {load}: z = {z}");
+    }
+    let fluid = DLeftOde::new(d, 8).load_fractions(1.0);
+    for (load, fluid_p) in fluid.iter().enumerate().take(3) {
+        assert!(
+            (a.mean_fraction(load) - fluid_p).abs() < 0.01,
+            "dleft load {load}: sim {} vs fluid {fluid_p}",
+            a.mean_fraction(load)
+        );
+    }
+    // d-left concentrates harder than the symmetric process: almost no
+    // bins at load 3.
+    assert!(a.mean_fraction(3) < 1e-3);
+    assert!(b.mean_fraction(3) < 1e-3);
+}
+
+#[test]
+fn max_load_fractions_agree() {
+    // Table 4 shape: the fraction of trials with max load exactly 3.
+    let (fr, dh) = pair(N, 3);
+    let cfg = ExperimentConfig::new(N).trials(100).seed(16);
+    let a = run_maxload_experiment(&fr, &cfg);
+    let b = run_maxload_experiment(&dh, &cfg);
+    let fa = fraction_with_max_load(&a, 3);
+    let fb = fraction_with_max_load(&b, 3);
+    // At n = 2^12 the paper reports ~87% for d = 3; allow broad noise.
+    assert!((0.6..=1.0).contains(&fa), "random: {fa}");
+    assert!((0.6..=1.0).contains(&fb), "double: {fb}");
+    assert!((fa - fb).abs() < 0.25, "fractions diverge: {fa} vs {fb}");
+}
+
+#[test]
+fn queueing_indistinguishable() {
+    // Table 8 shape at reduced scale.
+    let n = 1u64 << 9;
+    let lambda = 0.9;
+    let d = 3;
+    let seq = SeedSequence::new(17);
+    let run = |scheme: AnyScheme, stream: u64| -> f64 {
+        let sim = SupermarketSim::new(scheme, lambda);
+        let mut rng = seq.child(stream).xoshiro();
+        sim.run(1_500.0, 300.0, &mut rng).mean()
+    };
+    let fr = run(AnyScheme::by_name("random", n, d).unwrap(), 0);
+    let dh = run(AnyScheme::by_name("double", n, d).unwrap(), 1);
+    let fluid = SupermarketOde::new(lambda, d as u32, 60).equilibrium_sojourn_time();
+    assert!((fr - dh).abs() / fr < 0.04, "random {fr} vs double {dh}");
+    assert!((fr - fluid).abs() / fluid < 0.06, "sim {fr} vs fluid {fluid}");
+}
+
+#[test]
+fn one_plus_beta_indistinguishable() {
+    // Extension: the mixture process with double hashing for the 2-choice
+    // step matches the fully random mixture.
+    let n = 1u64 << 12;
+    let beta = 0.6;
+    let seq = SeedSequence::new(18);
+    let run = |use_double: bool| -> f64 {
+        let mut total = 0u64;
+        let trials = 30;
+        for t in 0..trials {
+            let mut rng = seq.child(t + if use_double { 1000 } else { 0 }).xoshiro();
+            let max = if use_double {
+                OnePlusBeta::new(DoubleHashing::new(n, 2), beta)
+                    .run(n, TieBreak::Random, &mut rng)
+                    .max_load()
+            } else {
+                OnePlusBeta::new(FullyRandom::new(n, 2, Replacement::Without), beta)
+                    .run(n, TieBreak::Random, &mut rng)
+                    .max_load()
+            };
+            total += max as u64;
+        }
+        total as f64 / trials as f64
+    };
+    let fr = run(false);
+    let dh = run(true);
+    assert!((fr - dh).abs() < 1.0, "mean max loads diverge: {fr} vs {dh}");
+}
+
+#[test]
+fn max_load_distributions_pass_ks() {
+    // Whole-distribution check: the per-trial maximum-load samples of the
+    // two schemes must pass a two-sample KS test, not just agree in mean.
+    use balanced_allocations::stats::{ks_critical_value, ks_statistic};
+    let (fr, dh) = pair(1 << 11, 3);
+    let cfg = ExperimentConfig::new(1 << 11).trials(400).seed(21);
+    let mut a: Vec<f64> = run_maxload_experiment(&fr, &cfg)
+        .into_iter()
+        .map(f64::from)
+        .collect();
+    let mut b: Vec<f64> = run_maxload_experiment(&dh, &cfg.clone().seed(22))
+        .into_iter()
+        .map(f64::from)
+        .collect();
+    let d = ks_statistic(&mut a, &mut b);
+    let crit = ks_critical_value(a.len(), b.len(), 0.001);
+    assert!(d < crit, "KS statistic {d} exceeds critical value {crit}");
+}
