@@ -204,7 +204,11 @@ mod tests {
         let c = h.ball_choices(0).to_vec();
         let anc = h.ancestry_bins(c[0], 1);
         for &b in &c {
-            assert!(anc.contains(&b), "ancestry of {} missing {b}: {anc:?}", c[0]);
+            assert!(
+                anc.contains(&b),
+                "ancestry of {} missing {b}: {anc:?}",
+                c[0]
+            );
         }
     }
 

@@ -177,7 +177,9 @@ mod tests {
         let n = 1u64 << 12;
         let mut r = rng(5);
         let trials = 2000;
-        let total: u64 = (0..trials).map(|_| ancestry_growth(n, 1.0, 3, &mut r)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| ancestry_growth(n, 1.0, 3, &mut r))
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!(mean < 403.0, "mean {mean} violates the Lemma 6 bound");
         assert!(mean > 1.0, "growth never happened?");

@@ -39,9 +39,7 @@ pub struct SortedLoads {
 impl SortedLoads {
     /// Creates `n` empty bins.
     pub fn new(n: usize) -> Self {
-        Self {
-            loads: vec![0; n],
-        }
+        Self { loads: vec![0; n] }
     }
 
     /// The loads, sorted descending.
@@ -100,12 +98,7 @@ pub struct CouplingOutcome {
 /// # Panics
 ///
 /// Panics if `d < 2` or `n < 2`.
-pub fn run_coupled_processes<R: Rng64>(
-    n: usize,
-    m: u64,
-    d: usize,
-    rng: &mut R,
-) -> CouplingOutcome {
+pub fn run_coupled_processes<R: Rng64>(n: usize, m: u64, d: usize, rng: &mut R) -> CouplingOutcome {
     assert!(d >= 2, "coupling needs d >= 2");
     assert!(n >= 2, "need at least two bins");
     let mut x = SortedLoads::new(n);
@@ -171,7 +164,11 @@ mod tests {
         let mut s = SortedLoads::new(5);
         for _ in 0..20 {
             s.increment(4);
-            assert!(s.loads().windows(2).all(|w| w[0] >= w[1]), "{:?}", s.loads());
+            assert!(
+                s.loads().windows(2).all(|w| w[0] >= w[1]),
+                "{:?}",
+                s.loads()
+            );
         }
         assert_eq!(s.total(), 20);
     }

@@ -116,7 +116,10 @@ mod tests {
         );
         // And the paper's lower-bound intuition: at least ~(9(d+1)²)^-1.
         let paper_lower = 1.0 / (9.0 * ((d + 1) * (d + 1)) as f64);
-        assert!(dh > paper_lower * 0.5, "dh {dh} vs paper bound {paper_lower}");
+        assert!(
+            dh > paper_lower * 0.5,
+            "dh {dh} vs paper bound {paper_lower}"
+        );
     }
 
     #[test]

@@ -164,7 +164,11 @@ mod tests {
         let (bin, load) = deepest(&h);
         for levels in 1..=load {
             let tree = build_witness_tree(&h, bin, load, levels).expect("exists");
-            assert!(tree.depth() <= levels, "depth {} > levels {levels}", tree.depth());
+            assert!(
+                tree.depth() <= levels,
+                "depth {} > levels {levels}",
+                tree.depth()
+            );
         }
     }
 

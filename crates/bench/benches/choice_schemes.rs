@@ -16,16 +16,12 @@ fn bench_schemes(c: &mut Criterion) {
             let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
             let mut rng = Xoshiro256StarStar::seed_from_u64(1);
             let mut buf = vec![0u64; d];
-            group.bench_with_input(
-                BenchmarkId::new(name.to_string(), d),
-                &d,
-                |b, _| {
-                    b.iter(|| {
-                        scheme.fill_choices(&mut rng, &mut buf);
-                        black_box(buf[0])
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name.to_string(), d), &d, |b, _| {
+                b.iter(|| {
+                    scheme.fill_choices(&mut rng, &mut buf);
+                    black_box(buf[0])
+                })
+            });
         }
     }
     group.finish();
@@ -33,7 +29,11 @@ fn bench_schemes(c: &mut Criterion) {
 
 fn bench_prime_vs_pow2(c: &mut Criterion) {
     let mut group = c.benchmark_group("double_hashing_modulus");
-    for (label, n) in [("pow2_16384", 1u64 << 14), ("prime_16381", 16381), ("composite_16380", 16380)] {
+    for (label, n) in [
+        ("pow2_16384", 1u64 << 14),
+        ("prime_16381", 16381),
+        ("composite_16380", 16380),
+    ] {
         let scheme = ba_hash::DoubleHashing::new(n, 4);
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let mut buf = [0u64; 4];

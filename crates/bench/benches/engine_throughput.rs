@@ -1,0 +1,128 @@
+//! Throughput of the sharded engine serving mixed traffic.
+//!
+//! Serves one million mixed operations (churn: inserts + deletes, plus
+//! Zipf insert/lookup traffic) across 4 and 8 shards, for fully random
+//! and double hashing, and reports ops/s. Before timing anything it
+//! verifies the engine's determinism contract at the same scale: per-shard
+//! loads after 1M routed inserts must be bit-identical to single-threaded
+//! `ba_core::run_process` replays for the same `(seed, scheme)` pair.
+
+use ba_core::{run_process, TieBreak};
+use ba_engine::{route, Engine, EngineConfig, Op};
+use ba_hash::DoubleHashing;
+use ba_rng::SeedSequence;
+use ba_workload::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const TOTAL_OPS: u64 = 1_000_000;
+const BINS_PER_SHARD: u64 = 1 << 16;
+const SEED: u64 = 2014;
+const BATCH: usize = 8_192;
+
+fn mixed_stream(scenario: &Scenario, keyspace: u64) -> Vec<Op> {
+    let mut workload = scenario.build(keyspace, SEED);
+    let mut ops = Vec::with_capacity(TOTAL_OPS as usize);
+    for _ in 0..TOTAL_OPS {
+        ops.push(workload.next_op());
+    }
+    ops
+}
+
+/// The acceptance gate: 1M inserts across 4 shards, every shard's final
+/// loads equal to a single-threaded `ba_core` run over its routed stream.
+fn verify_against_core() {
+    let shards = 4usize;
+    let mut engine = Engine::by_name(
+        "double",
+        EngineConfig::new(shards, BINS_PER_SHARD, 3).seed(SEED),
+    )
+    .expect("known scheme");
+    let ops: Vec<Op> = (0..TOTAL_OPS).map(Op::Insert).collect();
+    engine.serve(&ops, BATCH);
+    for id in 0..shards {
+        let balls = ops
+            .iter()
+            .filter(|op| route(op.key(), shards) == id)
+            .count() as u64;
+        let mut rng = SeedSequence::new(SEED).child(id as u64).xoshiro();
+        let reference = run_process(
+            &DoubleHashing::new(BINS_PER_SHARD, 3),
+            balls,
+            TieBreak::Random,
+            &mut rng,
+        );
+        let shard = &engine.shards()[id];
+        assert_eq!(
+            shard.allocation().max_load(),
+            reference.max_load(),
+            "shard {id} max load diverged from single-threaded ba_core"
+        );
+        assert_eq!(
+            shard.allocation().loads(),
+            reference.loads(),
+            "shard {id} loads diverged from single-threaded ba_core"
+        );
+    }
+    println!(
+        "verified: 1M inserts over {shards} shards match single-threaded ba_core \
+         (engine max load {})",
+        engine.max_load()
+    );
+}
+
+fn bench_mixed_ops(c: &mut Criterion) {
+    verify_against_core();
+
+    let mut group = c.benchmark_group("engine_mixed_1m");
+    group.throughput(Throughput::Elements(TOTAL_OPS));
+    let churn = mixed_stream(
+        &Scenario::Churn {
+            delete_fraction: 0.5,
+        },
+        BINS_PER_SHARD * 2,
+    );
+    let zipf = mixed_stream(&Scenario::Zipf { theta: 0.9 }, BINS_PER_SHARD * 2);
+    for (label, ops) in [("churn", &churn), ("zipf", &zipf)] {
+        for shards in [4usize, 8] {
+            for scheme in ["random", "double"] {
+                let id = BenchmarkId::new(format!("{label}/{scheme}"), shards);
+                group.bench_with_input(id, ops, |b, ops| {
+                    b.iter(|| {
+                        let mut engine = Engine::by_name(
+                            scheme,
+                            EngineConfig::new(shards, BINS_PER_SHARD, 3).seed(SEED),
+                        )
+                        .expect("known scheme");
+                        let summary = engine.serve(ops, BATCH);
+                        assert_eq!(summary.total_ops(), TOTAL_OPS);
+                        black_box(engine.max_load())
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallelism");
+    group.throughput(Throughput::Elements(TOTAL_OPS));
+    let ops = mixed_stream(&Scenario::Uniform, BINS_PER_SHARD * 4);
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "sequential" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut config = EngineConfig::new(8, BINS_PER_SHARD, 3).seed(SEED);
+                config.parallel = parallel;
+                let mut engine = Engine::by_name("double", config).expect("known scheme");
+                engine.serve(ops, BATCH);
+                black_box(engine.max_load())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_ops, bench_parallel_vs_sequential);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ fn bench_supermarket_sim(c: &mut Criterion) {
     let horizon = 100.0;
     let mut group = c.benchmark_group("supermarket_sim");
     // Each simulated second processes ~2·λ·n events (arrival + departure).
-    group.throughput(Throughput::Elements((2.0 * 0.9 * n as f64 * horizon) as u64));
+    group.throughput(Throughput::Elements(
+        (2.0 * 0.9 * n as f64 * horizon) as u64,
+    ));
     group.sample_size(10);
     for name in ["random", "double"] {
         let scheme = AnyScheme::by_name(name, n, 3).expect("known scheme");

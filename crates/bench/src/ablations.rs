@@ -48,19 +48,23 @@ pub fn ties(opts: &Opts) -> String {
     let d = 3;
     let scheme = DoubleHashing::new(n, d);
     let mut table = Table::new(&["Load", "Random ties", "First offered", "Lowest index"]);
-    let accs: Vec<_> = [TieBreak::Random, TieBreak::FirstOffered, TieBreak::LowestIndex]
-        .iter()
-        .map(|&tie| {
-            run_load_experiment(
-                &scheme,
-                &ExperimentConfig::new(n)
-                    .trials(opts.trials)
-                    .seed(opts.seed)
-                    .threads(opts.threads)
-                    .tie(tie),
-            )
-        })
-        .collect();
+    let accs: Vec<_> = [
+        TieBreak::Random,
+        TieBreak::FirstOffered,
+        TieBreak::LowestIndex,
+    ]
+    .iter()
+    .map(|&tie| {
+        run_load_experiment(
+            &scheme,
+            &ExperimentConfig::new(n)
+                .trials(opts.trials)
+                .seed(opts.seed)
+                .threads(opts.threads)
+                .tie(tie),
+        )
+    })
+    .collect();
     let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0);
     for load in 0..=max_load as usize {
         table.row_owned(vec![
@@ -129,8 +133,7 @@ pub fn churn(opts: &Opts) -> String {
             let hists: Vec<LoadHistogram> =
                 runner::run_trials(trials, opts.threads, opts.seed, |_t, seq| {
                     let mut rng = seq.xoshiro();
-                    run_churn_process(&scheme, n, ops, TieBreak::Random, &mut rng)
-                        .histogram()
+                    run_churn_process(&scheme, n, ops, TieBreak::Random, &mut rng).histogram()
                 });
             let mut acc = TrialAccumulator::new();
             for h in &hists {

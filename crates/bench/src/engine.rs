@@ -1,0 +1,84 @@
+//! The engine experiment: the scenario suite against the sharded engine.
+//!
+//! Where the paper's tables compare hashing schemes under one idealized
+//! workload, this experiment compares them under every workload scenario,
+//! served by the production path (`ba_engine` + `ba_workload`): per
+//! scheme × scenario it reports the engine-wide max load, the mean
+//! per-shard max load, and the serve rate.
+
+use crate::Opts;
+use ba_engine::EngineConfig;
+use ba_stats::{format_fraction, Table, Welford};
+use ba_workload::{run_scenario, Scenario};
+
+/// Schemes the engine experiment compares (the paper's standard pair plus
+/// the one-choice baseline).
+const SCHEMES: &[&str] = &["random", "double", "one"];
+
+/// Runs the scenario suite and renders one table per scenario.
+pub fn engine(opts: &Opts) -> String {
+    let shards = 4usize;
+    let bins_per_shard = if opts.full { 1u64 << 14 } else { 1u64 << 10 };
+    let keyspace = bins_per_shard * shards as u64;
+    let total_ops = keyspace * 4;
+    let batch = 4_096;
+    let d = 3;
+
+    let mut out = format!(
+        "Engine scenario suite: {shards} shards x {bins_per_shard} bins, d = {d}, \
+         {total_ops} ops per cell, seed {}\n\
+         (engine parallelism is one worker per active shard; --threads 1 forces \
+         sequential serving, other values are ignored)\n\n",
+        opts.seed
+    );
+    for scenario in Scenario::all() {
+        let mut table = Table::new(&["scheme", "max load", "mean shard max", "balls", "Mops/s"]);
+        for &scheme in SCHEMES {
+            let mut config =
+                EngineConfig::new(shards, bins_per_shard, if scheme == "one" { 1 } else { d })
+                    .seed(opts.seed);
+            if opts.threads == 1 {
+                config = config.sequential();
+            }
+            let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, batch)
+                .expect("known scheme");
+            let mut shard_max = Welford::new();
+            for &m in &report.stats.max_loads() {
+                shard_max.push(m as f64);
+            }
+            table.row_owned(vec![
+                scheme.to_string(),
+                report.stats.max_load().to_string(),
+                format_fraction(shard_max.mean()),
+                report.stats.total_balls().to_string(),
+                format!("{:.2}", report.ops_per_sec() / 1e6),
+            ]);
+        }
+        out.push_str(&format!("--- scenario: {} ---\n", scenario.name()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_experiment_renders_all_scenarios() {
+        let opts = Opts {
+            trials: 1,
+            seed: 3,
+            threads: 0,
+            full: false,
+        };
+        let text = engine(&opts);
+        for name in Scenario::names() {
+            assert!(text.contains(name), "missing scenario {name}: {text}");
+        }
+        for scheme in SCHEMES {
+            assert!(text.contains(scheme), "missing scheme {scheme}");
+        }
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod engine;
 pub mod extensions;
 pub mod opts;
 pub mod tables;
@@ -53,6 +54,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablate_modulus", ablations::modulus),
     ("ablate_prng", ablations::prng),
     ("churn", ablations::churn),
+    ("engine", engine::engine),
 ];
 
 /// Looks up an experiment by name.

@@ -84,8 +84,10 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let (opts, rest) =
-            parse(&["table1", "--trials", "50", "--seed", "7", "--full", "table2"]).unwrap();
+        let (opts, rest) = parse(&[
+            "table1", "--trials", "50", "--seed", "7", "--full", "table2",
+        ])
+        .unwrap();
         assert_eq!(opts.trials, 50);
         assert_eq!(opts.seed, 7);
         assert!(opts.full);

@@ -58,11 +58,7 @@ pub(crate) fn load_comparison(
         .iter()
         .map(|(_, s)| run_load_experiment(s, &config(opts, balls, tie)))
         .collect();
-    let max_load = accs
-        .iter()
-        .map(|a| a.overall_max_load())
-        .max()
-        .unwrap_or(0) as usize;
+    let max_load = accs.iter().map(|a| a.overall_max_load()).max().unwrap_or(0) as usize;
     let mut headers = vec!["Load"];
     headers.extend(schemes.iter().map(|(name, _)| *name));
     let mut table = Table::new(&headers);
@@ -80,7 +76,10 @@ pub fn table1(opts: &Opts) -> String {
     let mut out = String::new();
     for d in [3usize, 4] {
         out.push_str(&load_comparison(
-            &format!("({d} choices, n = 2^14 balls and bins, {} trials)", opts.trials),
+            &format!(
+                "({d} choices, n = 2^14 balls and bins, {} trials)",
+                opts.trials
+            ),
             &standard_pair(n, d),
             n,
             TieBreak::Random,
@@ -125,7 +124,10 @@ pub fn table3(opts: &Opts) -> String {
         let n = 1u64 << exp;
         for d in [3usize, 4] {
             out.push_str(&load_comparison(
-                &format!("({d} choices, n = 2^{exp} balls and bins, {} trials)", opts.trials),
+                &format!(
+                    "({d} choices, n = 2^{exp} balls and bins, {} trials)",
+                    opts.trials
+                ),
                 &standard_pair(n, d),
                 n,
                 TieBreak::Random,
@@ -150,10 +152,8 @@ pub fn table4(opts: &Opts) -> String {
             let n = 1u64 << exp;
             let mut row = vec![format!("2^{exp}")];
             for (_, scheme) in standard_pair(n, d) {
-                let maxes =
-                    run_maxload_experiment(&scheme, &config(opts, n, TieBreak::Random));
-                let frac = maxes.iter().filter(|&&m| m == 3).count() as f64
-                    / maxes.len() as f64;
+                let maxes = run_maxload_experiment(&scheme, &config(opts, n, TieBreak::Random));
+                let frac = maxes.iter().filter(|&&m| m == 3).count() as f64 / maxes.len() as f64;
                 row.push(format!("{:.2}", frac * 100.0));
             }
             table.row_owned(row);
@@ -204,7 +204,10 @@ pub fn table6(opts: &Opts) -> String {
     let mut out = String::new();
     for d in [3usize, 4] {
         out.push_str(&load_comparison(
-            &format!("({d} choices, 2^18 balls and 2^14 bins, {} trials)", opts.trials),
+            &format!(
+                "({d} choices, 2^18 balls and 2^14 bins, {} trials)",
+                opts.trials
+            ),
             &standard_pair(n, d),
             m,
             TieBreak::Random,
@@ -257,11 +260,7 @@ pub fn table8(opts: &Opts) -> String {
     for lambda in [0.9f64, 0.99] {
         for d in [3usize, 4] {
             let fluid = SupermarketOde::new(lambda, d as u32, 60).equilibrium_sojourn_time();
-            let mut cells = vec![
-                format!("{lambda}"),
-                d.to_string(),
-                format!("{fluid:.5}"),
-            ];
+            let mut cells = vec![format!("{lambda}"), d.to_string(), format!("{fluid:.5}")];
             for name in ["random", "double"] {
                 let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
                 let sim = SupermarketSim::new(&scheme, lambda);

@@ -84,10 +84,10 @@ pub fn pairwise(opts: &Opts) -> String {
         "collisions",
     ]);
     let cases: Vec<(&str, u64)> = vec![
-        ("double", 17),      // prime: exactly pairwise uniform
-        ("double", 16),      // power of two: parity structure
-        ("random", 17),      // without replacement: pairwise uniform
-        ("blocks", 16),      // contiguous blocks: wildly non-uniform pairs
+        ("double", 17), // prime: exactly pairwise uniform
+        ("double", 16), // power of two: parity structure
+        ("random", 17), // without replacement: pairwise uniform
+        ("blocks", 16), // contiguous blocks: wildly non-uniform pairs
     ];
     for (name, n) in cases {
         let scheme = AnyScheme::by_name(name, n, 3).expect("known scheme");
@@ -156,7 +156,12 @@ pub fn fluid_dleft(opts: &Opts) -> String {
             run_load_experiment(&scheme, &cfg)
         })
         .collect();
-    let mut table = Table::new(&["Load", "Fluid (d-left ODE)", "Fully Random", "Double Hashing"]);
+    let mut table = Table::new(&[
+        "Load",
+        "Fluid (d-left ODE)",
+        "Fully Random",
+        "Double Hashing",
+    ]);
     for (load, fluid_p) in fluid.iter().enumerate().take(4) {
         table.row_owned(vec![
             load.to_string(),
@@ -177,12 +182,7 @@ pub fn layered(opts: &Opts) -> String {
     use ba_core::experiment::{run_maxload_experiment, ExperimentConfig};
     use ba_fluid::{asymptotic_max_load, layered_induction};
     let d = 3u32;
-    let mut table = Table::new(&[
-        "n",
-        "sim max (mode)",
-        "layered bound",
-        "log_d log_2 n",
-    ]);
+    let mut table = Table::new(&["n", "sim max (mode)", "layered bound", "log_d log_2 n"]);
     for exp in [10u32, 14, 18] {
         let n = 1u64 << exp;
         let scheme = DoubleHashing::new(n, d as usize);
@@ -224,14 +224,20 @@ pub fn witness_activation(_opts: &Opts) -> String {
     let mut table = Table::new(&["configuration", "double hashing", "independent (alpha^d)"]);
     let contiguous = witness::contiguous_loaded(n, n / 3);
     let scattered = witness::scattered_loaded(n, n / 3, 7);
-    for (name, loaded) in [("first n/3 loaded", contiguous), ("random n/3 loaded", scattered)] {
+    for (name, loaded) in [
+        ("first n/3 loaded", contiguous),
+        ("random n/3 loaded", scattered),
+    ] {
         table.row_owned(vec![
             name.to_string(),
             format!(
                 "{:.5}",
                 witness::double_hash_activation_fraction(&loaded, d)
             ),
-            format!("{:.5}", witness::independent_activation_fraction(&loaded, d)),
+            format!(
+                "{:.5}",
+                witness::independent_activation_fraction(&loaded, d)
+            ),
         ]);
     }
     format!(

@@ -282,7 +282,11 @@ mod tests {
             one.max_load(),
             three.max_load()
         );
-        assert!(three.max_load() <= 4, "3 choices at n=2^12: {}", three.max_load());
+        assert!(
+            three.max_load() <= 4,
+            "3 choices at n=2^12: {}",
+            three.max_load()
+        );
     }
 
     #[test]
@@ -290,7 +294,11 @@ mod tests {
         let n = 1u64 << 12;
         let mut r = rng(8);
         let a = run_process(&DoubleHashing::new(n, 3), n, TieBreak::Random, &mut r);
-        assert!(a.max_load() <= 4, "double hashing max load {}", a.max_load());
+        assert!(
+            a.max_load() <= 4,
+            "double hashing max load {}",
+            a.max_load()
+        );
     }
 
     #[test]

@@ -78,15 +78,11 @@ pub fn run_load_experiment<S>(scheme: &S, config: &ExperimentConfig) -> TrialAcc
 where
     S: ChoiceScheme + ?Sized,
 {
-    let histograms = crate::runner::run_trials(
-        config.trials,
-        config.threads,
-        config.seed,
-        |_i, seq| {
+    let histograms =
+        crate::runner::run_trials(config.trials, config.threads, config.seed, |_i, seq| {
             let mut rng = seq.rng_of(config.rng);
             run_process(scheme, config.balls, config.tie, &mut rng.as_mut()).histogram()
-        },
-    );
+        });
     let mut acc = TrialAccumulator::new();
     for h in &histograms {
         acc.push(h);

@@ -215,7 +215,10 @@ mod tests {
         let scheme = FullyRandom::new(n, 2, Replacement::Without);
         let mut t = CuckooTable::new(scheme, 2000, 9);
         let load = t.fill_until_failure(&mut rng(4));
-        assert!((0.4..=0.56).contains(&load), "d=2 threshold ~0.5, got {load}");
+        assert!(
+            (0.4..=0.56).contains(&load),
+            "d=2 threshold ~0.5, got {load}"
+        );
     }
 
     #[test]

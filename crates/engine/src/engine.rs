@@ -1,0 +1,332 @@
+//! The sharded engine: routing, batched ingestion, parallel application.
+
+use crate::metrics::{EngineStats, ShardStats};
+use crate::op::{BatchSummary, Op};
+use crate::shard::Shard;
+use ba_core::TieBreak;
+use ba_hash::{AnyScheme, ChoiceScheme};
+
+/// Configuration for a sharded engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of independent shards.
+    pub shards: usize,
+    /// Bins per shard table.
+    pub bins_per_shard: u64,
+    /// Choices per ball within a shard.
+    pub d: usize,
+    /// Tie-breaking rule used by every shard.
+    pub tie: TieBreak,
+    /// Master seed; shard `i` uses stream `SeedSequence::new(seed).child(i)`.
+    pub seed: u64,
+    /// Apply batches across shards in parallel (`true`) or on the calling
+    /// thread (`false`). Results are identical either way.
+    pub parallel: bool,
+}
+
+impl EngineConfig {
+    /// A config with random ties, seed 1, and parallel application.
+    pub fn new(shards: usize, bins_per_shard: u64, d: usize) -> Self {
+        Self {
+            shards,
+            bins_per_shard,
+            d,
+            tie: TieBreak::Random,
+            seed: 1,
+            parallel: true,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the tie-breaking rule.
+    pub fn tie(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Chooses sequential (deterministic-by-construction) application.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Routes a key to a shard: SplitMix64 finalizer, then a multiply-shift
+/// range reduction. Stable across runs — the route is part of the engine's
+/// deterministic contract.
+#[inline]
+pub fn route(key: u64, shards: usize) -> usize {
+    let mixed = ba_rng::SplitMix64::mix(key ^ 0x9E6C_63D0_876A_3F6B);
+    ((mixed as u128 * shards as u128) >> 64) as usize
+}
+
+/// A sharded, concurrently-served balanced-allocation engine.
+///
+/// Every shard runs the paper's "least loaded of d choices" placement over
+/// its own bin table, with choices produced by its own copy of a
+/// [`ChoiceScheme`] and randomness from its own [`ba_rng::SeedSequence`]
+/// stream. Batches of [`Op`]s are partitioned by [`route`] and applied to
+/// all shards — in parallel via scoped threads when
+/// [`EngineConfig::parallel`] is set — and each shard's outcome depends
+/// only on its own ordered op subsequence, so the engine's final state is
+/// bit-identical between sequential and parallel application and across
+/// any number of worker threads.
+#[derive(Debug)]
+pub struct Engine<S> {
+    config: EngineConfig,
+    shards: Vec<Shard<S>>,
+}
+
+impl Engine<AnyScheme> {
+    /// Builds an engine whose shards run the named scheme
+    /// (see [`AnyScheme::by_name`]). Returns `None` for an unknown name.
+    pub fn by_name(name: &str, config: EngineConfig) -> Option<Self> {
+        // Probe once so an unknown name fails before any shard is built.
+        AnyScheme::by_name(name, config.bins_per_shard, config.d)?;
+        Some(Self::with_scheme_factory(config, |cfg| {
+            AnyScheme::by_name(name, cfg.bins_per_shard, cfg.d).expect("probed above")
+        }))
+    }
+}
+
+impl<S: ChoiceScheme> Engine<S> {
+    /// Builds an engine, constructing one scheme per shard via `factory`.
+    pub fn with_scheme_factory(config: EngineConfig, factory: impl Fn(&EngineConfig) -> S) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        let shards = (0..config.shards)
+            .map(|id| Shard::new(id, factory(&config), config.tie, config.seed))
+            .collect();
+        Self { config, shards }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Read access to the shards (metrics, tests).
+    pub fn shards(&self) -> &[Shard<S>] {
+        &self.shards
+    }
+
+    /// Total balls currently placed across all shards.
+    pub fn total_balls(&self) -> u64 {
+        self.shards.iter().map(|s| s.allocation().balls()).sum()
+    }
+
+    /// The maximum bin load across all shards.
+    pub fn max_load(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.allocation().max_load())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Partitions `ops` by shard, preserving arrival order per shard.
+    fn partition(&self, ops: &[Op]) -> Vec<Vec<Op>> {
+        let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); self.shards.len()];
+        for &op in ops {
+            per_shard[route(op.key(), self.shards.len())].push(op);
+        }
+        per_shard
+    }
+
+    /// Applies one batch of operations and returns its aggregate summary.
+    ///
+    /// Partitioning is stable: two ops on the same key always reach the
+    /// same shard in their batch order, so insert-then-delete sequences
+    /// behave as written even when shards run on different threads.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> BatchSummary {
+        let per_shard = self.partition(ops);
+        let mut total = BatchSummary::default();
+        if self.config.parallel && self.shards.len() > 1 {
+            let summaries = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(per_shard.iter())
+                    .filter(|(_, ops)| !ops.is_empty())
+                    .map(|(shard, ops)| scope.spawn(move || shard.apply(ops)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for s in &summaries {
+                total.absorb(s);
+            }
+        } else {
+            for (shard, ops) in self.shards.iter_mut().zip(per_shard.iter()) {
+                total.absorb(&shard.apply(ops));
+            }
+        }
+        total
+    }
+
+    /// Applies a long op stream in `batch_size` chunks; returns the overall
+    /// summary. This is the engine's ingestion entry point for drivers that
+    /// generate traffic faster than they want to synchronize.
+    pub fn serve(&mut self, ops: &[Op], batch_size: usize) -> BatchSummary {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut total = BatchSummary::default();
+        for chunk in ops.chunks(batch_size) {
+            total.absorb(&self.apply_batch(chunk));
+        }
+        total
+    }
+
+    /// Snapshot of per-shard and aggregate load/traffic statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::new(
+            self.shards
+                .iter()
+                .map(|s| ShardStats::capture(s.id(), s.allocation(), s.lifetime_summary()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_core::run_process;
+    use ba_hash::DoubleHashing;
+    use ba_rng::SeedSequence;
+
+    fn engine(shards: usize, parallel: bool) -> Engine<AnyScheme> {
+        let mut cfg = EngineConfig::new(shards, 256, 3).seed(42);
+        cfg.parallel = parallel;
+        Engine::by_name("double", cfg).unwrap()
+    }
+
+    #[test]
+    fn unknown_scheme_rejected() {
+        assert!(Engine::by_name("nope", EngineConfig::new(2, 64, 2)).is_none());
+    }
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7, 64] {
+            for key in 0..1000u64 {
+                let s = route(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, route(key, shards), "routing must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn route_spreads_keys() {
+        let shards = 8;
+        let mut counts = vec![0u64; shards];
+        for key in 0..80_000u64 {
+            counts[route(key, shards)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "skewed routing {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let ops: Vec<Op> = (0..20_000u64)
+            .map(|i| match i % 5 {
+                0..=2 => Op::Insert(i / 2),
+                3 => Op::Lookup(i / 3),
+                _ => Op::Delete(i / 2),
+            })
+            .collect();
+        let mut par = engine(8, true);
+        let mut seq = engine(8, false);
+        let sp = par.serve(&ops, 1024);
+        let ss = seq.serve(&ops, 1024);
+        assert_eq!(sp, ss);
+        for (a, b) in par.shards().iter().zip(seq.shards()) {
+            assert_eq!(a.allocation().loads(), b.allocation().loads());
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let ops: Vec<Op> = (0..5_000u64).map(Op::Insert).collect();
+        let mut small = engine(4, true);
+        let mut large = engine(4, true);
+        small.serve(&ops, 64);
+        large.serve(&ops, 5_000);
+        for (a, b) in small.shards().iter().zip(large.shards()) {
+            assert_eq!(a.allocation().loads(), b.allocation().loads());
+        }
+    }
+
+    #[test]
+    fn per_shard_state_matches_single_threaded_core_run() {
+        // The acceptance contract: for the same (seed, scheme) pair, each
+        // shard's max-load statistics equal a single-threaded ba_core run
+        // over that shard's insert stream.
+        let seed = 7u64;
+        let shards = 4usize;
+        let mut eng =
+            Engine::by_name("double", EngineConfig::new(shards, 512, 3).seed(seed)).unwrap();
+        let ops: Vec<Op> = (0..4_096u64).map(Op::Insert).collect();
+        eng.apply_batch(&ops);
+
+        for id in 0..shards {
+            let balls = ops
+                .iter()
+                .filter(|op| route(op.key(), shards) == id)
+                .count() as u64;
+            let scheme = DoubleHashing::new(512, 3);
+            let mut rng = SeedSequence::new(seed).child(id as u64).xoshiro();
+            let reference = run_process(&scheme, balls, TieBreak::Random, &mut rng);
+            let shard = &eng.shards()[id];
+            assert_eq!(shard.allocation().loads(), reference.loads());
+            assert_eq!(shard.allocation().max_load(), reference.max_load());
+        }
+    }
+
+    #[test]
+    fn conservation_across_mixed_traffic() {
+        let mut eng = engine(4, true);
+        let mut ops = Vec::new();
+        for key in 0..3_000u64 {
+            ops.push(Op::Insert(key));
+        }
+        for key in 0..1_000u64 {
+            ops.push(Op::Delete(key));
+        }
+        for key in 0..500u64 {
+            ops.push(Op::Lookup(key * 5));
+        }
+        let summary = eng.serve(&ops, 512);
+        assert_eq!(summary.inserts, 3_000);
+        assert_eq!(summary.deletes, 1_000);
+        assert_eq!(summary.missed_deletes, 0);
+        assert_eq!(summary.lookups, 500);
+        assert_eq!(eng.total_balls(), 2_000);
+        let stats = eng.stats();
+        assert_eq!(stats.total_balls(), 2_000);
+        assert_eq!(stats.total_ops(), 4_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Engine::by_name("double", EngineConfig::new(0, 64, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        engine(2, false).serve(&[Op::Insert(1)], 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! `ba-engine` — a sharded, concurrent balanced-allocation engine.
+//!
+//! The paper ("Balanced Allocations and Double Hashing", Mitzenmacher,
+//! SPAA 2014) validates its claim with single-trial, single-threaded
+//! simulations. This crate turns the same placement processes into a
+//! data-plane: live bin tables served by shards, ingesting batched
+//! insert/delete/lookup traffic in parallel, with any
+//! [`ba_hash::ChoiceScheme`] supplying the d choices per ball.
+//!
+//! Design:
+//!
+//! * **Sharding** — keys route to shards by a fixed SplitMix64 hash
+//!   ([`route`]); each shard owns an independent bin table, so shards never
+//!   contend and the engine scales linearly with cores.
+//! * **Determinism** — shard `i` draws all randomness from
+//!   `SeedSequence::new(seed).child(i)`, and only inserts consume the
+//!   stream, so the final state is a pure function of `(seed, scheme,
+//!   op stream)`: parallel and sequential application agree bit-for-bit,
+//!   and an insert-only shard reproduces `ba_core::run_process` exactly.
+//! * **Batched ingestion** — [`Engine::serve`] chunks an op stream into
+//!   batches; each batch is partitioned per shard (order-preserving) and
+//!   applied by scoped worker threads.
+//! * **Metrics** — [`EngineStats`] snapshots per-shard load histograms
+//!   (via [`ba_stats::LoadHistogram`]), max loads, and traffic counters.
+//!
+//! # Example
+//!
+//! ```
+//! use ba_engine::{Engine, EngineConfig, Op};
+//!
+//! let mut engine = Engine::by_name("double", EngineConfig::new(4, 1 << 10, 3).seed(9))
+//!     .expect("known scheme");
+//! let ops: Vec<Op> = (0..4096u64).map(Op::Insert).collect();
+//! let summary = engine.serve(&ops, 512);
+//! assert_eq!(summary.inserts, 4096);
+//! assert_eq!(engine.total_balls(), 4096);
+//! // Four choices-of-3 tables at load factor 1: max load stays tiny.
+//! assert!(engine.max_load() <= 5, "max load {}", engine.max_load());
+//! println!("{}", engine.stats().render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod op;
+mod shard;
+
+pub use engine::{route, Engine, EngineConfig};
+pub use metrics::{EngineStats, ShardStats};
+pub use op::{BatchSummary, Op};
+pub use shard::Shard;

@@ -1,0 +1,189 @@
+//! Live load/traffic statistics exported through `ba_stats`.
+
+use crate::op::BatchSummary;
+use ba_core::Allocation;
+use ba_stats::{format_fraction, LoadHistogram, Table};
+
+/// A point-in-time snapshot of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: usize,
+    /// Bins in the shard table.
+    pub bins: u64,
+    /// Balls currently placed.
+    pub balls: u64,
+    /// Current maximum bin load.
+    pub max_load: u32,
+    /// Full load histogram of the shard table.
+    pub histogram: LoadHistogram,
+    /// Lifetime operation counters.
+    pub traffic: BatchSummary,
+}
+
+impl ShardStats {
+    /// Captures a snapshot from a shard's allocation and counters.
+    pub fn capture(shard: usize, alloc: &Allocation, traffic: &BatchSummary) -> Self {
+        Self {
+            shard,
+            bins: alloc.n(),
+            balls: alloc.balls(),
+            max_load: alloc.max_load(),
+            histogram: alloc.histogram(),
+            traffic: *traffic,
+        }
+    }
+}
+
+/// Aggregate statistics for a whole engine.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    shards: Vec<ShardStats>,
+}
+
+impl EngineStats {
+    /// Wraps per-shard snapshots.
+    pub fn new(shards: Vec<ShardStats>) -> Self {
+        Self { shards }
+    }
+
+    /// The per-shard snapshots.
+    pub fn shards(&self) -> &[ShardStats] {
+        &self.shards
+    }
+
+    /// Balls currently placed engine-wide.
+    pub fn total_balls(&self) -> u64 {
+        self.shards.iter().map(|s| s.balls).sum()
+    }
+
+    /// Operations served engine-wide over the engine's lifetime.
+    pub fn total_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.traffic.total_ops()).sum()
+    }
+
+    /// The engine-wide maximum bin load.
+    pub fn max_load(&self) -> u32 {
+        self.shards.iter().map(|s| s.max_load).max().unwrap_or(0)
+    }
+
+    /// Per-shard maximum loads, indexed by shard id.
+    pub fn max_loads(&self) -> Vec<u32> {
+        self.shards.iter().map(|s| s.max_load).collect()
+    }
+
+    /// The merged load histogram over every shard's bins.
+    pub fn merged_histogram(&self) -> LoadHistogram {
+        let width = self
+            .shards
+            .iter()
+            .map(|s| s.histogram.len())
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0u64; width];
+        for shard in &self.shards {
+            for (load, &count) in shard.histogram.counts().iter().enumerate() {
+                counts[load] += count;
+            }
+        }
+        LoadHistogram::from_counts(counts)
+    }
+
+    /// Renders a per-shard table plus aggregate lines, for operator eyes.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(&[
+            "shard", "bins", "balls", "max", "inserts", "deletes", "missed", "lookups", "hitrate",
+        ]);
+        for s in &self.shards {
+            let hit_rate = if s.traffic.lookups == 0 {
+                "-".to_string()
+            } else {
+                format_fraction(s.traffic.hits as f64 / s.traffic.lookups as f64)
+            };
+            table.row_owned(vec![
+                s.shard.to_string(),
+                s.bins.to_string(),
+                s.balls.to_string(),
+                s.max_load.to_string(),
+                s.traffic.inserts.to_string(),
+                s.traffic.deletes.to_string(),
+                s.traffic.missed_deletes.to_string(),
+                s.traffic.lookups.to_string(),
+                hit_rate,
+            ]);
+        }
+        let merged = self.merged_histogram();
+        format!(
+            "{}\ntotal: {} balls in {} bins, {} ops served, max load {}\n",
+            table.render(),
+            merged.total_balls(),
+            merged.total_bins(),
+            self.total_ops(),
+            self.max_load(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_core::{Allocation, TieBreak};
+    use ba_rng::{Rng64, Xoshiro256StarStar};
+
+    fn filled(n: u64, balls: u64, seed: u64) -> Allocation {
+        let mut alloc = Allocation::new(n);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..balls {
+            let a = rng.gen_range(n);
+            let b = rng.gen_range(n);
+            alloc.place(&[a, b], TieBreak::Random, &mut rng);
+        }
+        alloc
+    }
+
+    fn stats() -> EngineStats {
+        let traffic = BatchSummary {
+            inserts: 100,
+            deletes: 20,
+            missed_deletes: 1,
+            lookups: 10,
+            hits: 5,
+        };
+        EngineStats::new(vec![
+            ShardStats::capture(0, &filled(64, 100, 1), &traffic),
+            ShardStats::capture(1, &filled(64, 50, 2), &traffic),
+        ])
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let s = stats();
+        assert_eq!(s.total_balls(), 150);
+        assert_eq!(s.total_ops(), 262);
+        assert_eq!(s.max_loads().len(), 2);
+        assert!(s.max_load() >= 2);
+    }
+
+    #[test]
+    fn merged_histogram_conserves_mass() {
+        let merged = stats().merged_histogram();
+        assert_eq!(merged.total_balls(), 150);
+        assert_eq!(merged.total_bins(), 128);
+    }
+
+    #[test]
+    fn render_mentions_every_shard() {
+        let text = stats().render();
+        assert!(text.contains("shard"));
+        assert!(text.contains("150 balls in 128 bins"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = EngineStats::new(Vec::new());
+        assert_eq!(s.total_balls(), 0);
+        assert_eq!(s.max_load(), 0);
+        assert_eq!(s.merged_histogram().total_bins(), 0);
+    }
+}

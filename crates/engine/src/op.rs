@@ -1,0 +1,134 @@
+//! The engine's operation vocabulary.
+
+/// One data-plane operation against the engine's keyed bin tables.
+///
+/// Keys are opaque 64-bit identifiers; the engine routes each key to a
+/// shard and, on insert, places a ball for it via the shard's choice
+/// scheme. Operations are `Copy` so batches can be partitioned across
+/// shards without allocation per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Place a ball for `key` into the least loaded of its shard's choices.
+    /// A key may be inserted more than once; each insert adds one ball.
+    Insert(u64),
+    /// Remove the most recently inserted ball for `key`, if any.
+    Delete(u64),
+    /// Ask whether any ball for `key` is currently placed.
+    Lookup(u64),
+}
+
+impl Op {
+    /// The key this operation addresses.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Insert(k) | Op::Delete(k) | Op::Lookup(k) => k,
+        }
+    }
+
+    /// Short human-readable tag (`insert`/`delete`/`lookup`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Insert(_) => "insert",
+            Op::Delete(_) => "delete",
+            Op::Lookup(_) => "lookup",
+        }
+    }
+}
+
+/// Aggregate outcome of one applied batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Balls placed.
+    pub inserts: u64,
+    /// Balls removed.
+    pub deletes: u64,
+    /// Deletes that found no live ball for their key.
+    pub missed_deletes: u64,
+    /// Lookups served.
+    pub lookups: u64,
+    /// Lookups that found a live ball.
+    pub hits: u64,
+}
+
+impl BatchSummary {
+    /// Total operations this summary accounts for.
+    pub fn total_ops(&self) -> u64 {
+        self.inserts + self.deletes + self.missed_deletes + self.lookups
+    }
+
+    /// Accumulates another summary into this one.
+    pub fn absorb(&mut self, other: &BatchSummary) {
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.missed_deletes += other.missed_deletes;
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+    }
+
+    /// The component-wise difference `self - before`, for turning two
+    /// lifetime snapshots into a per-batch delta. Kept next to
+    /// [`BatchSummary::absorb`] so a new counter cannot be added to one
+    /// without the other.
+    pub fn diff(&self, before: &BatchSummary) -> BatchSummary {
+        BatchSummary {
+            inserts: self.inserts - before.inserts,
+            deletes: self.deletes - before.deletes,
+            missed_deletes: self.missed_deletes - before.missed_deletes,
+            lookups: self.lookups - before.lookups,
+            hits: self.hits - before.hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Insert(7).key(), 7);
+        assert_eq!(Op::Delete(8).key(), 8);
+        assert_eq!(Op::Lookup(9).key(), 9);
+        assert_eq!(Op::Insert(0).kind(), "insert");
+        assert_eq!(Op::Delete(0).kind(), "delete");
+        assert_eq!(Op::Lookup(0).kind(), "lookup");
+    }
+
+    #[test]
+    fn summary_absorbs() {
+        let mut a = BatchSummary {
+            inserts: 1,
+            deletes: 2,
+            missed_deletes: 3,
+            lookups: 4,
+            hits: 2,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.inserts, 2);
+        assert_eq!(a.total_ops(), 20);
+        assert_eq!(a.hits, 4);
+    }
+
+    #[test]
+    fn diff_inverts_absorb() {
+        let before = BatchSummary {
+            inserts: 1,
+            deletes: 2,
+            missed_deletes: 3,
+            lookups: 4,
+            hits: 2,
+        };
+        let delta = BatchSummary {
+            inserts: 10,
+            deletes: 20,
+            missed_deletes: 0,
+            lookups: 5,
+            hits: 1,
+        };
+        let mut after = before;
+        after.absorb(&delta);
+        assert_eq!(after.diff(&before), delta);
+        assert_eq!(after.diff(&after), BatchSummary::default());
+    }
+}

@@ -1,0 +1,225 @@
+//! One shard: a bin table, its key index, and its private RNG stream.
+
+use crate::op::{BatchSummary, Op};
+use ba_core::{Allocation, TieBreak};
+use ba_hash::ChoiceScheme;
+use ba_rng::{SeedSequence, Xoshiro256StarStar};
+use std::collections::HashMap;
+
+/// A single-threaded slice of the engine's keyspace.
+///
+/// The shard owns an [`Allocation`] over its scheme's bins, an index from
+/// key to the bins currently holding that key's balls, and a deterministic
+/// RNG stream derived from `SeedSequence::new(seed).child(shard_id)`.
+///
+/// The determinism contract mirrors `ba_core::runner`: a shard's final
+/// state is a pure function of `(seed, shard_id, scheme, tie,
+/// ordered op sequence)` — never of which thread ran it or what the other
+/// shards did. Only inserts consume randomness (choice generation and
+/// random tie-breaks), exactly like `ba_core::run_process`, so an
+/// insert-only shard is bit-identical to a single-threaded `run_process`
+/// over the same keys' stream.
+#[derive(Debug, Clone)]
+pub struct Shard<S> {
+    id: usize,
+    scheme: S,
+    alloc: Allocation,
+    tie: TieBreak,
+    rng: Xoshiro256StarStar,
+    /// key -> stack of bins holding that key's balls (LIFO delete order).
+    index: HashMap<u64, Vec<u64>>,
+    choices: Vec<u64>,
+    lifetime: BatchSummary,
+}
+
+impl<S: ChoiceScheme> Shard<S> {
+    /// Creates an empty shard with its own RNG stream.
+    pub fn new(id: usize, scheme: S, tie: TieBreak, seed: u64) -> Self {
+        let alloc = Allocation::new(scheme.n());
+        let d = scheme.d();
+        Self {
+            id,
+            scheme,
+            alloc,
+            tie,
+            rng: SeedSequence::new(seed).child(id as u64).xoshiro(),
+            index: HashMap::new(),
+            choices: vec![0u64; d],
+            lifetime: BatchSummary::default(),
+        }
+    }
+
+    /// This shard's position within the engine.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard's bin table.
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// The shard's choice scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Number of distinct keys with at least one live ball.
+    pub fn live_keys(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Operation counters accumulated over the shard's lifetime.
+    pub fn lifetime_summary(&self) -> &BatchSummary {
+        &self.lifetime
+    }
+
+    /// Places one ball for `key`; returns the chosen bin.
+    pub fn insert(&mut self, key: u64) -> u64 {
+        self.scheme.fill_choices(&mut self.rng, &mut self.choices);
+        let bin = self.alloc.place(&self.choices, self.tie, &mut self.rng);
+        self.index.entry(key).or_default().push(bin);
+        self.lifetime.inserts += 1;
+        bin
+    }
+
+    /// Removes the most recent ball for `key`; returns its bin if present.
+    pub fn delete(&mut self, key: u64) -> Option<u64> {
+        match self.index.get_mut(&key) {
+            Some(bins) => {
+                let bin = bins.pop().expect("index never holds empty stacks");
+                if bins.is_empty() {
+                    self.index.remove(&key);
+                }
+                self.alloc.remove(bin);
+                self.lifetime.deletes += 1;
+                Some(bin)
+            }
+            None => {
+                self.lifetime.missed_deletes += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether any ball for `key` is live.
+    pub fn lookup(&mut self, key: u64) -> bool {
+        self.lifetime.lookups += 1;
+        let hit = self.index.contains_key(&key);
+        if hit {
+            self.lifetime.hits += 1;
+        }
+        hit
+    }
+
+    /// Applies an ordered op sequence, returning this batch's summary.
+    pub fn apply(&mut self, ops: &[Op]) -> BatchSummary {
+        let before = self.lifetime;
+        for &op in ops {
+            match op {
+                Op::Insert(k) => {
+                    self.insert(k);
+                }
+                Op::Delete(k) => {
+                    self.delete(k);
+                }
+                Op::Lookup(k) => {
+                    self.lookup(k);
+                }
+            }
+        }
+        self.lifetime.diff(&before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_core::run_process;
+    use ba_hash::DoubleHashing;
+
+    fn shard(seed: u64) -> Shard<DoubleHashing> {
+        Shard::new(0, DoubleHashing::new(64, 3), TieBreak::Random, seed)
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrips() {
+        let mut s = shard(1);
+        let bin = s.insert(42);
+        assert!(s.lookup(42));
+        assert_eq!(s.allocation().balls(), 1);
+        assert_eq!(s.delete(42), Some(bin));
+        assert!(!s.lookup(42));
+        assert_eq!(s.allocation().balls(), 0);
+        assert_eq!(s.live_keys(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_stack_and_pop_lifo() {
+        let mut s = shard(2);
+        let b1 = s.insert(7);
+        let b2 = s.insert(7);
+        assert_eq!(s.allocation().balls(), 2);
+        assert_eq!(s.live_keys(), 1);
+        assert_eq!(s.delete(7), Some(b2));
+        assert!(s.lookup(7), "one ball should remain");
+        assert_eq!(s.delete(7), Some(b1));
+        assert_eq!(s.delete(7), None);
+    }
+
+    #[test]
+    fn missed_delete_counted_not_fatal() {
+        let mut s = shard(3);
+        assert_eq!(s.delete(999), None);
+        assert_eq!(s.lifetime_summary().missed_deletes, 1);
+        assert_eq!(s.allocation().balls(), 0);
+    }
+
+    #[test]
+    fn insert_only_shard_matches_run_process() {
+        // The determinism contract: a shard fed only inserts reproduces
+        // ba_core::run_process bit-for-bit on the same derived stream.
+        let seed = 99u64;
+        let scheme = DoubleHashing::new(128, 3);
+        let mut s = Shard::new(5, scheme.clone(), TieBreak::Random, seed);
+        for key in 0..200u64 {
+            s.insert(key);
+        }
+        let mut rng = SeedSequence::new(seed).child(5).xoshiro();
+        let reference = run_process(&scheme, 200, TieBreak::Random, &mut rng);
+        assert_eq!(s.allocation().loads(), reference.loads());
+        assert_eq!(s.allocation().max_load(), reference.max_load());
+    }
+
+    #[test]
+    fn apply_returns_batch_delta_only() {
+        let mut s = shard(4);
+        s.apply(&[Op::Insert(1), Op::Insert(2)]);
+        let delta = s.apply(&[Op::Delete(1), Op::Delete(5), Op::Lookup(2), Op::Lookup(9)]);
+        assert_eq!(delta.inserts, 0);
+        assert_eq!(delta.deletes, 1);
+        assert_eq!(delta.missed_deletes, 1);
+        assert_eq!(delta.lookups, 2);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(s.lifetime_summary().inserts, 2);
+    }
+
+    #[test]
+    fn deletes_and_lookups_consume_no_randomness() {
+        let mut a = shard(6);
+        let mut b = shard(6);
+        a.apply(&[Op::Insert(1), Op::Insert(2), Op::Insert(3)]);
+        // Same inserts with lookups and missed deletes interleaved: the
+        // no-rng ops must not shift the shard's random stream.
+        b.apply(&[
+            Op::Lookup(1),
+            Op::Insert(1),
+            Op::Delete(9),
+            Op::Insert(2),
+            Op::Lookup(2),
+            Op::Insert(3),
+            Op::Lookup(7),
+        ]);
+        assert_eq!(a.allocation().loads(), b.allocation().loads());
+    }
+}

@@ -90,9 +90,17 @@ mod tests {
         let tails = ode.tail_fractions(1.0);
         let e = (-1.0f64).exp();
         assert!((tails[0] - (1.0 - e)).abs() < 1e-8, "x1 = {}", tails[0]);
-        assert!((tails[1] - (1.0 - 2.0 * e)).abs() < 1e-8, "x2 = {}", tails[1]);
+        assert!(
+            (tails[1] - (1.0 - 2.0 * e)).abs() < 1e-8,
+            "x2 = {}",
+            tails[1]
+        );
         // P(load ≥ 3) = 1 − e(1 + 1 + 1/2)e^-1 = 1 − 2.5 e^-1.
-        assert!((tails[2] - (1.0 - 2.5 * e)).abs() < 1e-8, "x3 = {}", tails[2]);
+        assert!(
+            (tails[2] - (1.0 - 2.5 * e)).abs() < 1e-8,
+            "x3 = {}",
+            tails[2]
+        );
     }
 
     #[test]

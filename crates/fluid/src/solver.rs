@@ -131,7 +131,14 @@ pub fn rkf45<S: OdeSystem>(
         ],
     ];
     // 4th-order solution weights.
-    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    const C4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -0.2,
+        0.0,
+    ];
     // 5th-order solution weights.
     const C5: [f64; 6] = [
         16.0 / 135.0,

@@ -1,8 +1,7 @@
 //! A closed enum over the provided schemes, for configuration-driven code.
 
 use crate::{
-    ChoiceScheme, ContiguousBlocks, DoubleHashing, FullyRandom, OneChoice, Partitioned,
-    Replacement,
+    ChoiceScheme, ContiguousBlocks, DoubleHashing, FullyRandom, OneChoice, Partitioned, Replacement,
 };
 use ba_rng::Rng64;
 
@@ -43,10 +42,9 @@ impl AnyScheme {
                 FullyRandom::new(n / d as u64, d, Replacement::With),
                 n,
             )),
-            "dleft-double" => Self::DLeftDouble(Partitioned::new(
-                DoubleHashing::new(n / d as u64, d),
-                n,
-            )),
+            "dleft-double" => {
+                Self::DLeftDouble(Partitioned::new(DoubleHashing::new(n / d as u64, d), n))
+            }
             "one" => Self::OneChoice(OneChoice::new(n)),
             _ => return None,
         })
@@ -112,8 +110,8 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         for &name in AnyScheme::names() {
             let d = if name == "one" { 1 } else { 4 };
-            let scheme = AnyScheme::by_name(name, 64, d)
-                .unwrap_or_else(|| panic!("{name} should parse"));
+            let scheme =
+                AnyScheme::by_name(name, 64, d).unwrap_or_else(|| panic!("{name} should parse"));
             assert_eq!(scheme.n(), 64, "{name}");
             assert_eq!(scheme.d(), d, "{name}");
             let mut buf = vec![0u64; d];

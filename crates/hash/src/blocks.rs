@@ -111,7 +111,10 @@ mod tests {
             assert!(buf.iter().all(|&c| c < 2));
             saw_duplicate |= buf[0] == buf[1];
         }
-        assert!(saw_duplicate, "independent singletons must collide sometimes");
+        assert!(
+            saw_duplicate,
+            "independent singletons must collide sometimes"
+        );
     }
 
     #[test]

@@ -394,8 +394,8 @@ mod tests {
         assert_eq!(
             primes,
             vec![
-                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
-                79, 83, 89, 97
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
             ]
         );
     }
@@ -436,7 +436,16 @@ mod tests {
 
     #[test]
     fn factorize_matches_reconstruction() {
-        for n in [1u64, 2, 12, 97, 360, 1 << 20, 1_000_000_007, 600_851_475_143] {
+        for n in [
+            1u64,
+            2,
+            12,
+            97,
+            360,
+            1 << 20,
+            1_000_000_007,
+            600_851_475_143,
+        ] {
             let f = factorize(n);
             if n <= 1 {
                 assert!(f.is_empty());

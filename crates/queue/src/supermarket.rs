@@ -299,10 +299,13 @@ mod tests {
         // sojourn times agree within a couple of percent.
         let n = 1u64 << 10;
         let lambda = 0.9;
-        let fr = SupermarketSim::new(FullyRandom::new(n, 3, Replacement::Without), lambda)
-            .run(2_000.0, 500.0, &mut rng(4));
-        let dh = SupermarketSim::new(DoubleHashing::new(n, 3), lambda)
-            .run(2_000.0, 500.0, &mut rng(5));
+        let fr = SupermarketSim::new(FullyRandom::new(n, 3, Replacement::Without), lambda).run(
+            2_000.0,
+            500.0,
+            &mut rng(4),
+        );
+        let dh =
+            SupermarketSim::new(DoubleHashing::new(n, 3), lambda).run(2_000.0, 500.0, &mut rng(5));
         let rel = (fr.mean() - dh.mean()).abs() / fr.mean();
         assert!(
             rel < 0.03,

@@ -110,10 +110,7 @@ mod tests {
         }
         for (b, &c) in ones.iter().enumerate() {
             let frac = c as f64 / n as f64;
-            assert!(
-                (frac - 0.5).abs() < 0.02,
-                "bit {b} biased: frac {frac}"
-            );
+            assert!((frac - 0.5).abs() < 0.02, "bit {b} biased: frac {frac}");
         }
     }
 }

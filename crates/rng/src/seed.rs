@@ -78,9 +78,8 @@ impl SeedSequence {
     /// Returns the child sequence at `index` (e.g. one per trial).
     pub fn child(&self, index: u64) -> Self {
         // Two finalizer rounds with distinct domain-separation constants.
-        let mixed = SplitMix64::mix(
-            SplitMix64::mix(self.seed ^ 0xA076_1D64_78BD_642F).wrapping_add(index),
-        );
+        let mixed =
+            SplitMix64::mix(SplitMix64::mix(self.seed ^ 0xA076_1D64_78BD_642F).wrapping_add(index));
         Self { seed: mixed }
     }
 

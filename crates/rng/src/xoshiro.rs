@@ -20,7 +20,10 @@ impl Xoshiro256StarStar {
     ///
     /// Panics if the state is all zeros (the one forbidden state).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be nonzero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be nonzero"
+        );
         Self { s }
     }
 
@@ -32,7 +35,9 @@ impl Xoshiro256StarStar {
         // SplitMix64 output is equidistributed so an all-zero expansion can
         // only arise from one specific seed per position; guard regardless.
         if s.iter().all(|&w| w == 0) {
-            return Self { s: [GOLDEN_FALLBACK, 0, 0, 0] };
+            return Self {
+                s: [GOLDEN_FALLBACK, 0, 0, 0],
+            };
         }
         Self { s }
     }
@@ -69,10 +74,7 @@ const GOLDEN_FALLBACK: u64 = 0x9E37_79B9_7F4A_7C15;
 impl Rng64 for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -156,6 +158,9 @@ mod tests {
                 d * d / expect
             })
             .sum();
-        assert!(chi2 < 50.0, "chi-square {chi2} too large for uniform output");
+        assert!(
+            chi2 < 50.0,
+            "chi-square {chi2} too large for uniform output"
+        );
     }
 }

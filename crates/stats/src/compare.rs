@@ -73,7 +73,10 @@ pub fn chi_square_statistic(a: &[u64], b: &[u64]) -> f64 {
 ///
 /// Panics if either sample has fewer than 2 observations.
 pub fn welch_t(mean1: f64, var1: f64, n1: u64, mean2: f64, var2: f64, n2: u64) -> (f64, f64) {
-    assert!(n1 >= 2 && n2 >= 2, "Welch's t needs at least 2 observations");
+    assert!(
+        n1 >= 2 && n2 >= 2,
+        "Welch's t needs at least 2 observations"
+    );
     let s1 = var1 / n1 as f64;
     let s2 = var2 / n2 as f64;
     let se2 = s1 + s2;
@@ -85,8 +88,7 @@ pub fn welch_t(mean1: f64, var1: f64, n1: u64, mean2: f64, var2: f64, n2: u64) -
         };
     }
     let t = (mean1 - mean2) / se2.sqrt();
-    let df = se2 * se2
-        / (s1 * s1 / (n1 as f64 - 1.0) + s2 * s2 / (n2 as f64 - 1.0));
+    let df = se2 * se2 / (s1 * s1 / (n1 as f64 - 1.0) + s2 * s2 / (n2 as f64 - 1.0));
     (t, df)
 }
 

@@ -44,7 +44,8 @@ impl Table {
             self.headers.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned strings.

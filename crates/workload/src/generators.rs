@@ -1,0 +1,463 @@
+//! The workload generators: one per traffic shape.
+
+use crate::zipf::Zipf;
+use ba_engine::Op;
+use ba_rng::{Rng64, SeedSequence, Xoshiro256StarStar};
+use std::collections::VecDeque;
+
+/// A deterministic stream of engine operations.
+///
+/// Generators own their RNG (derived from a master seed), so a `(scenario,
+/// seed)` pair always produces the identical op sequence — the whole
+/// scenario suite is replayable against any engine/scheme combination.
+pub trait Workload {
+    /// The scenario's short name (`uniform`, `zipf`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+
+    /// Clears `out` and fills it with the next `count` operations.
+    fn fill(&mut self, out: &mut Vec<Op>, count: usize) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.next_op());
+        }
+    }
+}
+
+fn stream(seed: u64, tag: u64) -> Xoshiro256StarStar {
+    // Distinct child index per generator kind keeps scenario streams
+    // independent even under the same master seed.
+    SeedSequence::new(seed).child(0xBA5E_0000 ^ tag).xoshiro()
+}
+
+/// Uniform independent arrivals: every op inserts a fresh ball for a key
+/// drawn uniformly from the keyspace — the paper's classic
+/// "throw m balls into n bins" traffic.
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    keyspace: u64,
+    rng: Xoshiro256StarStar,
+}
+
+impl UniformWorkload {
+    /// Uniform inserts over `[0, keyspace)`.
+    pub fn new(keyspace: u64, seed: u64) -> Self {
+        assert!(keyspace > 0, "keyspace must be nonempty");
+        Self {
+            keyspace,
+            rng: stream(seed, 1),
+        }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn next_op(&mut self) -> Op {
+        Op::Insert(self.rng.gen_range(self.keyspace))
+    }
+}
+
+/// Zipf-skewed arrivals: keys follow a power law (hot keys receive most
+/// traffic), mixing inserts with lookups — cache/CDN-shaped read-write
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    zipf: Zipf,
+    lookup_fraction: f64,
+    rng: Xoshiro256StarStar,
+}
+
+impl ZipfWorkload {
+    /// Zipf(`theta`) keys over `[0, keyspace)`; `lookup_fraction` of ops
+    /// are lookups, the rest inserts.
+    pub fn new(keyspace: u64, theta: f64, lookup_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lookup_fraction),
+            "lookup fraction must be in [0,1]"
+        );
+        Self {
+            zipf: Zipf::new(keyspace, theta),
+            lookup_fraction,
+            rng: stream(seed, 2),
+        }
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.zipf.theta()
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+    fn next_op(&mut self) -> Op {
+        let lookup = self.rng.gen_bool(self.lookup_fraction);
+        let key = self.zipf.sample(&mut self.rng);
+        if lookup {
+            Op::Lookup(key)
+        } else {
+            Op::Insert(key)
+        }
+    }
+}
+
+/// Bursty arrivals: traffic comes in flash crowds. Each burst picks a
+/// random base key and hammers a small neighbourhood of `spread` keys for
+/// `burst_len` consecutive ops before moving on.
+#[derive(Debug, Clone)]
+pub struct BurstyWorkload {
+    keyspace: u64,
+    burst_len: u32,
+    spread: u64,
+    remaining: u32,
+    base: u64,
+    rng: Xoshiro256StarStar,
+}
+
+impl BurstyWorkload {
+    /// Bursts of `burst_len` inserts over `spread` adjacent keys.
+    pub fn new(keyspace: u64, burst_len: u32, spread: u64, seed: u64) -> Self {
+        assert!(keyspace > 0, "keyspace must be nonempty");
+        assert!(burst_len > 0, "bursts must be nonempty");
+        assert!(spread > 0, "burst spread must be positive");
+        Self {
+            keyspace,
+            burst_len,
+            spread: spread.min(keyspace),
+            remaining: 0,
+            base: 0,
+            rng: stream(seed, 3),
+        }
+    }
+}
+
+impl Workload for BurstyWorkload {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+    fn next_op(&mut self) -> Op {
+        if self.remaining == 0 {
+            self.remaining = self.burst_len;
+            self.base = self.rng.gen_range(self.keyspace);
+        }
+        self.remaining -= 1;
+        // base + offset mod keyspace, without u64 overflow near u64::MAX.
+        let offset = self.rng.gen_range(self.spread);
+        let space_left = self.keyspace - self.base;
+        let key = if offset < space_left {
+            self.base + offset
+        } else {
+            offset - space_left
+        };
+        Op::Insert(key)
+    }
+}
+
+/// Constant-population churn: fill to `population` fresh keys, then mix
+/// deletes of live keys with inserts of fresh ones.
+///
+/// The live-key count is held in `[population, population + population/10]`:
+/// inserts are forced below the floor, deletes at the ceiling, and
+/// `delete_fraction` decides in between. (A bounded population forces
+/// equal inserts and deletes in the long run, so fractions far from 0.5
+/// ride one band edge rather than changing the steady-state mix.)
+///
+/// This is the op-stream twin of `ba_core::ChurnProcess` (the paper's
+/// "settings with deletions"): driving an engine with it reproduces the
+/// same steady-state dynamics, which `tests/engine.rs` checks against
+/// `ba_core::run_churn_process` directly.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    population: u64,
+    delete_fraction: f64,
+    next_key: u64,
+    live: Vec<u64>,
+    rng: Xoshiro256StarStar,
+}
+
+impl ChurnWorkload {
+    /// Fills to `population` keys, then deletes with probability
+    /// `delete_fraction` (inserting fresh keys otherwise), holding the
+    /// live-key count within 10% above `population`.
+    pub fn new(population: u64, delete_fraction: f64, seed: u64) -> Self {
+        assert!(population > 0, "population must be positive");
+        assert!(
+            (0.0..=1.0).contains(&delete_fraction),
+            "delete fraction must be in [0,1]"
+        );
+        Self {
+            population,
+            delete_fraction,
+            next_key: 0,
+            live: Vec::new(),
+            rng: stream(seed, 4),
+        }
+    }
+
+    /// Keys currently live according to the generator's own bookkeeping.
+    pub fn live_keys(&self) -> u64 {
+        self.live.len() as u64
+    }
+
+    fn fresh_insert(&mut self) -> Op {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.live.push(key);
+        Op::Insert(key)
+    }
+
+    fn delete_random(&mut self) -> Op {
+        let idx = self.rng.gen_range(self.live.len() as u64) as usize;
+        Op::Delete(self.live.swap_remove(idx))
+    }
+}
+
+impl Workload for ChurnWorkload {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+    fn next_op(&mut self) -> Op {
+        let len = self.live.len() as u64;
+        if len < self.population {
+            return self.fresh_insert();
+        }
+        if len >= self.population + (self.population / 10).max(1) {
+            return self.delete_random();
+        }
+        if self.rng.gen_bool(self.delete_fraction) {
+            self.delete_random()
+        } else {
+            self.fresh_insert()
+        }
+    }
+}
+
+/// Adversarial re-insertion: an attacker repeatedly deletes keys and
+/// re-inserts exactly those keys, maximizing delete/re-insert correlation
+/// on a small working set.
+///
+/// Note on scope: the engine implements the paper's *process* model —
+/// each insert draws a fresh choice vector from the shard's RNG stream —
+/// so a re-inserted key does **not** replay its previous `f + k·g` probe
+/// sequence here. This scenario therefore stresses correlated
+/// delete/re-insert dynamics (recently vacated bins refilling), not
+/// fixed-probe replay; a keyed hashing mode where choices derive from
+/// the key is a ROADMAP follow-on.
+#[derive(Debug, Clone)]
+pub struct AdversarialWorkload {
+    population: u64,
+    next_key: u64,
+    live: Vec<u64>,
+    recently_deleted: VecDeque<u64>,
+    window: usize,
+    rng: Xoshiro256StarStar,
+}
+
+impl AdversarialWorkload {
+    /// Maintains roughly `population` live keys, re-inserting from a
+    /// `window` of recently deleted keys whenever possible.
+    pub fn new(population: u64, window: usize, seed: u64) -> Self {
+        assert!(population > 0, "population must be positive");
+        assert!(window > 0, "window must be positive");
+        Self {
+            population,
+            next_key: 0,
+            live: Vec::new(),
+            recently_deleted: VecDeque::new(),
+            window,
+            rng: stream(seed, 5),
+        }
+    }
+}
+
+impl Workload for AdversarialWorkload {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+    fn next_op(&mut self) -> Op {
+        if (self.live.len() as u64) < self.population {
+            // Refill, preferring re-insertion of recently deleted keys to
+            // keep the attack's working set tight.
+            if let Some(key) = self.recently_deleted.pop_front() {
+                self.live.push(key);
+                return Op::Insert(key);
+            }
+            let key = self.next_key;
+            self.next_key += 1;
+            self.live.push(key);
+            return Op::Insert(key);
+        }
+        // At population: delete a random victim and remember it for
+        // re-insertion, keeping delete/re-insert tightly correlated.
+        let idx = self.rng.gen_range(self.live.len() as u64) as usize;
+        let key = self.live.swap_remove(idx);
+        self.recently_deleted.push_back(key);
+        if self.recently_deleted.len() > self.window {
+            self.recently_deleted.pop_front();
+        }
+        Op::Delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(w: &mut dyn Workload, count: usize) -> Vec<Op> {
+        let mut out = Vec::new();
+        w.fill(&mut out, count);
+        out
+    }
+
+    #[test]
+    fn uniform_stays_in_keyspace() {
+        let mut w = UniformWorkload::new(100, 1);
+        for op in ops(&mut w, 5_000) {
+            assert!(matches!(op, Op::Insert(k) if k < 100));
+        }
+    }
+
+    #[test]
+    fn zipf_mixes_lookups_at_requested_rate() {
+        let mut w = ZipfWorkload::new(1_000, 0.9, 0.3, 2);
+        let sample = ops(&mut w, 50_000);
+        let lookups = sample.iter().filter(|o| matches!(o, Op::Lookup(_))).count();
+        let rate = lookups as f64 / sample.len() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "lookup rate {rate}");
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed() {
+        let mut w = ZipfWorkload::new(1_000, 0.9, 0.0, 3);
+        let mut counts = vec![0u64; 1_000];
+        for op in ops(&mut w, 100_000) {
+            counts[op.key() as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[500..510].iter().sum();
+        assert!(head > 20 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn bursty_reuses_keys_within_bursts() {
+        let mut w = BurstyWorkload::new(1 << 20, 64, 8, 4);
+        let sample = ops(&mut w, 6_400);
+        let mut distinct: Vec<u64> = sample.iter().map(|o| o.key()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // 100 bursts × spread 8 ⇒ at most ~800 distinct keys for 6400 ops.
+        assert!(
+            distinct.len() <= 800,
+            "bursty traffic too spread out: {} distinct keys",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn churn_holds_population_and_mix() {
+        let mut w = ChurnWorkload::new(1_000, 0.5, 5);
+        // Warmup: exactly the first `population` ops are inserts.
+        let warmup = ops(&mut w, 1_000);
+        assert!(warmup.iter().all(|o| matches!(o, Op::Insert(_))));
+        let churn = ops(&mut w, 40_000);
+        let deletes = churn.iter().filter(|o| matches!(o, Op::Delete(_))).count();
+        let rate = deletes as f64 / churn.len() as f64;
+        assert!((rate - 0.5).abs() < 0.02, "delete rate {rate}");
+        // Population stays near target (random walk, but tightly held).
+        assert!(
+            (w.live_keys() as i64 - 1_000).abs() < 600,
+            "population drifted to {}",
+            w.live_keys()
+        );
+    }
+
+    #[test]
+    fn churn_population_bounded_even_for_insert_heavy_mix() {
+        // delete_fraction < 0.5 drifts upward; the band ceiling must hold.
+        let mut w = ChurnWorkload::new(1_000, 0.2, 8);
+        let _ = ops(&mut w, 200_000);
+        assert!(
+            w.live_keys() <= 1_100,
+            "population escaped the band: {}",
+            w.live_keys()
+        );
+        assert!(w.live_keys() >= 1_000, "population fell below the floor");
+    }
+
+    #[test]
+    fn bursty_survives_huge_keyspaces() {
+        // base + offset must not overflow u64 near u64::MAX.
+        let mut w = BurstyWorkload::new(u64::MAX, 16, 1 << 40, 9);
+        for op in ops(&mut w, 10_000) {
+            assert!(matches!(op, Op::Insert(_)));
+        }
+    }
+
+    #[test]
+    fn churn_never_deletes_dead_keys() {
+        let mut w = ChurnWorkload::new(100, 0.6, 6);
+        let mut live = std::collections::HashSet::new();
+        for op in ops(&mut w, 20_000) {
+            match op {
+                Op::Insert(k) => {
+                    assert!(live.insert(k), "key {k} inserted twice");
+                }
+                Op::Delete(k) => {
+                    assert!(live.remove(&k), "deleted dead key {k}");
+                }
+                Op::Lookup(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_reinserts_deleted_keys() {
+        let mut w = AdversarialWorkload::new(500, 64, 7);
+        let sample = ops(&mut w, 20_000);
+        let mut deleted = std::collections::HashSet::new();
+        let mut reinserted = 0u64;
+        for op in &sample {
+            match op {
+                Op::Delete(k) => {
+                    deleted.insert(*k);
+                }
+                Op::Insert(k) if deleted.contains(k) => reinserted += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            reinserted > 1_000,
+            "attack never re-inserted deleted keys ({reinserted})"
+        );
+    }
+
+    #[test]
+    fn generators_reproducible_under_fixed_seed() {
+        let builders: Vec<fn(u64) -> Box<dyn Workload>> = vec![
+            |s| Box::new(UniformWorkload::new(1 << 16, s)),
+            |s| Box::new(ZipfWorkload::new(1 << 16, 0.9, 0.2, s)),
+            |s| Box::new(BurstyWorkload::new(1 << 16, 32, 8, s)),
+            |s| Box::new(ChurnWorkload::new(512, 0.5, s)),
+            |s| Box::new(AdversarialWorkload::new(512, 64, s)),
+        ];
+        for build in &builders {
+            let mut a = build(11);
+            let mut b = build(11);
+            let mut c = build(12);
+            let (va, vb, vc) = (
+                ops(a.as_mut(), 2_000),
+                ops(b.as_mut(), 2_000),
+                ops(c.as_mut(), 2_000),
+            );
+            assert_eq!(va, vb, "{} not reproducible", a.name());
+            assert_ne!(va, vc, "{} ignores its seed", a.name());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! `ba-workload` — production-shaped traffic scenarios for the engine.
+//!
+//! The paper's experiments throw uniform balls at empty tables. Real
+//! allocators face skew, flash crowds, deletions, and adversaries. This
+//! crate generates that traffic as deterministic [`Op`] streams and drives
+//! any [`ba_engine::Engine`] with them through one shared driver API, so
+//! every [`ba_hash::ChoiceScheme`] answers the same question the paper
+//! asks — "does double hashing lose anything?" — under every scenario:
+//!
+//! * [`UniformWorkload`] — independent uniform inserts (the paper's model);
+//! * [`ZipfWorkload`] — power-law keys with an insert/lookup mix;
+//! * [`BurstyWorkload`] — flash crowds hammering small key neighbourhoods;
+//! * [`ChurnWorkload`] — constant-population insert/delete mix, the
+//!   op-stream twin of `ba_core::ChurnProcess`'s deletion setting;
+//! * [`AdversarialWorkload`] — correlated delete/re-insert attack traffic
+//!   on a small working set of recently deleted keys.
+//!
+//! # Example
+//!
+//! ```
+//! use ba_engine::EngineConfig;
+//! use ba_workload::{run_scenario, Scenario};
+//!
+//! let report = run_scenario(
+//!     "double",
+//!     &Scenario::Zipf { theta: 0.9 },
+//!     EngineConfig::new(4, 1 << 10, 3).seed(7),
+//!     1 << 12,  // keyspace
+//!     20_000,   // ops
+//!     1 << 10,  // batch size
+//! )
+//! .expect("known scheme");
+//! assert_eq!(report.summary.total_ops(), 20_000);
+//! assert!(report.stats.max_load() < 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+mod zipf;
+
+pub use generators::{
+    AdversarialWorkload, BurstyWorkload, ChurnWorkload, UniformWorkload, Workload, ZipfWorkload,
+};
+pub use zipf::Zipf;
+
+use ba_engine::{BatchSummary, Engine, EngineConfig, EngineStats, Op};
+use ba_hash::{AnyScheme, ChoiceScheme};
+
+/// A named, parameterized scenario that can build its generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Independent uniform inserts.
+    Uniform,
+    /// Zipf-skewed keys (exponent `theta` in `(0,1)`), 25% lookups.
+    Zipf {
+        /// The skew exponent.
+        theta: f64,
+    },
+    /// Flash crowds: bursts of 64 inserts over 8 adjacent keys.
+    Bursty,
+    /// Constant-population insert/delete churn.
+    Churn {
+        /// Fraction of post-warmup ops that delete (the rest insert).
+        delete_fraction: f64,
+    },
+    /// Delete-then-re-insert attack traffic.
+    Adversarial,
+}
+
+impl Scenario {
+    /// Every scenario at its default parameters, in canonical order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::Uniform,
+            Scenario::Zipf { theta: 0.9 },
+            Scenario::Bursty,
+            Scenario::Churn {
+                delete_fraction: 0.5,
+            },
+            Scenario::Adversarial,
+        ]
+    }
+
+    /// Parses a scenario by name: `uniform`, `zipf`, `bursty`, `churn`,
+    /// or `adversarial` (default parameters).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Some(match name {
+            "uniform" => Scenario::Uniform,
+            "zipf" => Scenario::Zipf { theta: 0.9 },
+            "bursty" => Scenario::Bursty,
+            "churn" => Scenario::Churn {
+                delete_fraction: 0.5,
+            },
+            "adversarial" => Scenario::Adversarial,
+            _ => return None,
+        })
+    }
+
+    /// The names accepted by [`Scenario::by_name`].
+    pub fn names() -> &'static [&'static str] {
+        &["uniform", "zipf", "bursty", "churn", "adversarial"]
+    }
+
+    /// This scenario's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::Zipf { .. } => "zipf",
+            Scenario::Bursty => "bursty",
+            Scenario::Churn { .. } => "churn",
+            Scenario::Adversarial => "adversarial",
+        }
+    }
+
+    /// Builds the generator for this scenario.
+    ///
+    /// `keyspace` bounds uniform/Zipf/bursty key draws and sets the target
+    /// population for churn/adversarial traffic.
+    pub fn build(&self, keyspace: u64, seed: u64) -> Box<dyn Workload> {
+        match *self {
+            Scenario::Uniform => Box::new(UniformWorkload::new(keyspace, seed)),
+            Scenario::Zipf { theta } => Box::new(ZipfWorkload::new(keyspace, theta, 0.25, seed)),
+            Scenario::Bursty => Box::new(BurstyWorkload::new(keyspace, 64, 8, seed)),
+            Scenario::Churn { delete_fraction } => {
+                Box::new(ChurnWorkload::new(keyspace, delete_fraction, seed))
+            }
+            Scenario::Adversarial => Box::new(AdversarialWorkload::new(keyspace, 256, seed)),
+        }
+    }
+}
+
+/// What a driven scenario produced.
+#[derive(Debug, Clone)]
+pub struct DriveReport {
+    /// The scenario's name.
+    pub scenario: &'static str,
+    /// Aggregate op counts.
+    pub summary: BatchSummary,
+    /// Engine state after the run.
+    pub stats: EngineStats,
+    /// Wall-clock time the engine spent serving batches, excluding
+    /// workload generation (so [`DriveReport::ops_per_sec`] is a serve
+    /// rate, not a generate+serve rate).
+    pub elapsed: std::time::Duration,
+}
+
+impl DriveReport {
+    /// Operations per second over the drive's wall clock.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.summary.total_ops() as f64 / secs
+    }
+}
+
+/// The shared driver: streams `total_ops` operations from `workload` into
+/// `engine` in `batch_size` chunks. Works with any scheme and any
+/// generator — every scenario/scheme pairing goes through this one path.
+pub fn drive<S: ChoiceScheme>(
+    engine: &mut Engine<S>,
+    workload: &mut dyn Workload,
+    total_ops: u64,
+    batch_size: usize,
+) -> DriveReport {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut serving = std::time::Duration::ZERO;
+    let mut summary = BatchSummary::default();
+    let mut buf: Vec<Op> = Vec::with_capacity(batch_size);
+    let mut remaining = total_ops;
+    while remaining > 0 {
+        let chunk = batch_size.min(remaining as usize);
+        workload.fill(&mut buf, chunk);
+        let start = std::time::Instant::now();
+        summary.absorb(&engine.apply_batch(&buf));
+        serving += start.elapsed();
+        remaining -= chunk as u64;
+    }
+    DriveReport {
+        scenario: workload.name(),
+        summary,
+        stats: engine.stats(),
+        elapsed: serving,
+    }
+}
+
+/// Convenience one-shot: builds an engine for the named scheme (see
+/// [`AnyScheme::by_name`]), builds the scenario's generator, and drives
+/// it. Returns `None` for an unknown scheme name.
+pub fn run_scenario(
+    scheme: &str,
+    scenario: &Scenario,
+    config: EngineConfig,
+    keyspace: u64,
+    total_ops: u64,
+    batch_size: usize,
+) -> Option<DriveReport> {
+    let seed = config.seed;
+    let mut engine: Engine<AnyScheme> = Engine::by_name(scheme, config)?;
+    let mut workload = scenario.build(keyspace, seed);
+    Some(drive(&mut engine, workload.as_mut(), total_ops, batch_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for &name in Scenario::names() {
+            let s = Scenario::by_name(name).unwrap();
+            assert_eq!(s.name(), name);
+        }
+        assert_eq!(Scenario::by_name("warp"), None);
+        assert_eq!(Scenario::all().len(), Scenario::names().len());
+    }
+
+    #[test]
+    fn driver_serves_exact_op_count() {
+        let mut engine = Engine::by_name("double", EngineConfig::new(4, 256, 3).seed(3)).unwrap();
+        let mut workload = Scenario::Uniform.build(1 << 12, 3);
+        let report = drive(&mut engine, workload.as_mut(), 10_000, 512);
+        assert_eq!(report.summary.total_ops(), 10_000);
+        assert_eq!(report.summary.inserts, 10_000);
+        assert_eq!(engine.total_balls(), 10_000);
+        assert!(report.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn every_scenario_runs_against_every_scheme() {
+        // The acceptance matrix: 5 scenarios × every AnyScheme name.
+        for &scheme in AnyScheme::names() {
+            for scenario in Scenario::all() {
+                let d = if scheme == "one" { 1 } else { 4 };
+                let config = EngineConfig::new(2, 64, d).seed(1);
+                let report = run_scenario(scheme, &scenario, config, 128, 2_000, 256)
+                    .unwrap_or_else(|| panic!("{scheme} should build"));
+                assert_eq!(
+                    report.summary.total_ops(),
+                    2_000,
+                    "{scheme}/{}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_scheme_yields_none() {
+        assert!(run_scenario(
+            "warp",
+            &Scenario::Uniform,
+            EngineConfig::new(1, 16, 2),
+            16,
+            10,
+            4
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn churn_traffic_never_misses_deletes() {
+        let report = run_scenario(
+            "double",
+            &Scenario::Churn {
+                delete_fraction: 0.5,
+            },
+            EngineConfig::new(4, 512, 3).seed(9),
+            1_024,
+            30_000,
+            1_024,
+        )
+        .unwrap();
+        assert_eq!(
+            report.summary.missed_deletes, 0,
+            "generator and engine disagree about live keys"
+        );
+        // Every surviving ball is accounted for.
+        assert_eq!(
+            report.stats.total_balls(),
+            report.summary.inserts - report.summary.deletes
+        );
+    }
+
+    #[test]
+    fn reports_are_reproducible_modulo_time() {
+        let cfg = || EngineConfig::new(4, 256, 3).seed(21);
+        let a = run_scenario("double", &Scenario::Adversarial, cfg(), 512, 20_000, 512).unwrap();
+        let b = run_scenario("double", &Scenario::Adversarial, cfg(), 512, 20_000, 512).unwrap();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.stats.max_loads(), b.stats.max_loads());
+        assert_eq!(
+            a.stats.merged_histogram().counts(),
+            b.stats.merged_histogram().counts()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Zipf-distributed key sampling (the YCSB "zipfian generator" method).
+
+use ba_rng::Rng64;
+
+/// Samples ranks from a Zipf distribution over `[0, n)` with exponent
+/// `theta` in `(0, 1)`: rank `i` has probability proportional to
+/// `1 / (i+1)^theta`. Rank 0 is the hottest key.
+///
+/// Uses Gray–Sundaresan inversion (the YCSB generator): an `O(n)` zeta
+/// precomputation at construction, then `O(1)` per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 1` and `0 < theta < 1`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf exponent must be in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// The number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The probability of rank 0 (the hottest key).
+    pub fn top_probability(&self) -> f64 {
+        1.0 / self.zetan
+    }
+
+    /// Draws one rank in `[0, n)`.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_rng::Xoshiro256StarStar;
+
+    fn frequencies(theta: f64, n: u64, samples: u64) -> Vec<u64> {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let counts = frequencies(0.9, 1000, 200_000);
+        // Rank 0 must dominate mid/tail ranks by a wide margin.
+        assert!(counts[0] > 10 * counts[500].max(1), "{:?}", &counts[..3]);
+        assert!(counts[0] > counts[10], "head not dominant");
+        // Observed top-rank frequency tracks the analytic probability.
+        let zipf = Zipf::new(1000, 0.9);
+        let expected = zipf.top_probability();
+        let observed = counts[0] as f64 / 200_000.0;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn low_theta_is_nearly_uniform() {
+        let counts = frequencies(0.05, 100, 200_000);
+        let expected = 2_000.0;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) < 3.5 * expected && (c as f64) > expected / 3.5,
+                "rank {rank}: count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_theta_means_hotter_head() {
+        let mild = frequencies(0.3, 500, 100_000)[0];
+        let hot = frequencies(0.95, 500, 100_000)[0];
+        assert!(hot > 2 * mild, "hot {hot} vs mild {mild}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let zipf = Zipf::new(64, 0.8);
+        let mut a = Xoshiro256StarStar::seed_from_u64(5);
+        let mut b = Xoshiro256StarStar::seed_from_u64(5);
+        let va: Vec<u64> = (0..100).map(|_| zipf.sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..100).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let zipf = Zipf::new(1, 0.5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_theta_of_one() {
+        Zipf::new(10, 1.0);
+    }
+}

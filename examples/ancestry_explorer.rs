@@ -47,7 +47,9 @@ fn main() {
     let trials = 4000u64;
     let mut rng = seq.child(100).xoshiro();
     for (dd, t) in [(2u32, 1.0f64), (3, 1.0), (3, 0.5)] {
-        let total: u64 = (0..trials).map(|_| ancestry_growth(n, t, dd, &mut rng)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| ancestry_growth(n, t, dd, &mut rng))
+            .sum();
         let mean = total as f64 / trials as f64;
         let bound = (t * (dd * (dd - 1)) as f64).exp();
         println!("  d = {dd}, T = {t}: mean B = {mean:>7.2}   (bound {bound:.1})");

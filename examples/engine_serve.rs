@@ -1,0 +1,57 @@
+//! Serve production-shaped traffic through the sharded allocation engine.
+//!
+//! Builds a 4-shard engine for a chosen scheme, streams every workload
+//! scenario through it (uniform, Zipf, bursty, churn, adversarial), and
+//! prints the per-shard load tables plus serve rates. The punchline is the
+//! paper's, at serving scale: double hashing's max loads match fully
+//! random hashing under every traffic shape.
+//!
+//! ```text
+//! cargo run --release --example engine_serve [scheme] [shards] [ops]
+//! # scheme: random | double | blocks | one | ... (default: compares random vs double)
+//! ```
+
+use balanced_allocations::prelude::*;
+
+fn serve_suite(scheme: &str, shards: usize, total_ops: u64) {
+    let bins_per_shard = 1u64 << 12;
+    let keyspace = bins_per_shard * shards as u64;
+    println!(
+        "== scheme `{scheme}`: {shards} shards x {bins_per_shard} bins, d = 3, {total_ops} ops/scenario ==\n"
+    );
+    for scenario in Scenario::all() {
+        let config = EngineConfig::new(shards, bins_per_shard, 3).seed(2014);
+        let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, 4096)
+            .expect("scheme validated in main");
+        println!(
+            "--- {} ({:.2} M ops/s) ---",
+            report.scenario,
+            report.ops_per_sec() / 1e6
+        );
+        println!("{}", report.stats.render());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // A numeric first argument means the scheme was omitted: keep the
+    // default two-scheme comparison and read [shards] [ops] from there.
+    let (schemes, rest): (Vec<String>, &[String]) = match args.first() {
+        Some(first) if first.parse::<u64>().is_err() => {
+            if AnyScheme::by_name(first, 1 << 12, 3).is_none() {
+                eprintln!(
+                    "unknown scheme `{first}`; expected one of: {}",
+                    AnyScheme::names().join(", ")
+                );
+                std::process::exit(1);
+            }
+            (vec![first.clone()], &args[1..])
+        }
+        _ => (vec!["random".into(), "double".into()], &args[..]),
+    };
+    let shards: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let total_ops: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    for scheme in &schemes {
+        serve_suite(scheme, shards, total_ops);
+    }
+}

@@ -22,7 +22,10 @@ fn main() {
     let random = run_load_experiment(&FullyRandom::new(n, d, Replacement::Without), &config);
     let double = run_load_experiment(&DoubleHashing::new(n, d), &config);
 
-    println!("{:>4}  {:>14}  {:>14}", "Load", "Fully Random", "Double Hashing");
+    println!(
+        "{:>4}  {:>14}  {:>14}",
+        "Load", "Fully Random", "Double Hashing"
+    );
     let max_load = random.overall_max_load().max(double.overall_max_load());
     for load in 0..=max_load as usize {
         println!(

@@ -1,0 +1,166 @@
+//! Cross-layer integration tests for the sharded engine + workload suite.
+//!
+//! These run through the public facade and check the properties the
+//! subsystem exists for: parallel serving changes nothing, per-shard state
+//! is exactly `ba_core`'s single-threaded state, and the paper's claim —
+//! double hashing loses nothing against fully random hashing — survives
+//! every production-shaped traffic scenario.
+
+use balanced_allocations::core::{run_churn_process, run_process, TieBreak};
+use balanced_allocations::engine::route;
+use balanced_allocations::prelude::*;
+
+fn config(shards: usize, bins: u64, d: usize, seed: u64) -> EngineConfig {
+    EngineConfig::new(shards, bins, d).seed(seed)
+}
+
+#[test]
+fn parallel_engine_equals_sequential_engine_under_every_scenario() {
+    for scenario in Scenario::all() {
+        let keyspace = 2_048u64;
+        let par = run_scenario(
+            "double",
+            &scenario,
+            config(8, 512, 3, 11),
+            keyspace,
+            30_000,
+            1_024,
+        )
+        .unwrap();
+        let seq = run_scenario(
+            "double",
+            &scenario,
+            config(8, 512, 3, 11).sequential(),
+            keyspace,
+            30_000,
+            1_024,
+        )
+        .unwrap();
+        assert_eq!(par.summary, seq.summary, "{}", scenario.name());
+        assert_eq!(
+            par.stats.max_loads(),
+            seq.stats.max_loads(),
+            "{}",
+            scenario.name()
+        );
+        assert_eq!(
+            par.stats.merged_histogram().counts(),
+            seq.stats.merged_histogram().counts(),
+            "{}",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn engine_shards_reproduce_core_runs_for_every_scheme() {
+    // Insert-only traffic: shard i of the engine must equal a
+    // single-threaded ba_core run over shard i's routed key stream, for
+    // the same (seed, scheme) pair — the engine adds sharding, not noise.
+    let shards = 4usize;
+    let bins = 256u64;
+    let seed = 23u64;
+    let ops: Vec<Op> = (0..2_048u64).map(Op::Insert).collect();
+    for name in ["random", "double", "blocks"] {
+        let mut engine = Engine::by_name(name, config(shards, bins, 3, seed)).unwrap();
+        engine.serve(&ops, 256);
+        for id in 0..shards {
+            let balls = ops
+                .iter()
+                .filter(|op| route(op.key(), shards) == id)
+                .count() as u64;
+            let scheme = AnyScheme::by_name(name, bins, 3).unwrap();
+            let mut rng = SeedSequence::new(seed).child(id as u64).xoshiro();
+            let reference = run_process(&scheme, balls, TieBreak::Random, &mut rng);
+            assert_eq!(
+                engine.shards()[id].allocation().loads(),
+                reference.loads(),
+                "{name} shard {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn double_hashing_loses_nothing_under_served_churn() {
+    // The paper's deletion claim, at the engine layer: after heavy churn
+    // the load profiles of double hashing and fully random are
+    // indistinguishable, and both match the single-table ChurnProcess
+    // dynamics from ba_core (flatter-than-fresh profile, bounded max).
+    let bins = 1u64 << 12;
+    let run = |scheme: &str| {
+        run_scenario(
+            scheme,
+            &Scenario::Churn {
+                delete_fraction: 0.5,
+            },
+            config(4, bins, 3, 31),
+            bins, // population target ≈ one ball per 4 bins... scaled below
+            400_000,
+            4_096,
+        )
+        .unwrap()
+    };
+    let dh = run("double");
+    let fr = run("random");
+    assert_eq!(dh.summary.missed_deletes, 0);
+    let (hd, hf) = (dh.stats.merged_histogram(), fr.stats.merged_histogram());
+    for load in 0..3usize {
+        let (a, b) = (hd.fraction(load), hf.fraction(load));
+        assert!(
+            (a - b).abs() < 0.03,
+            "load {load}: double {a} vs random {b}"
+        );
+    }
+    assert!(dh.stats.max_load() <= 6, "max load {}", dh.stats.max_load());
+
+    // Same dynamics as the single-table churn process from ba_core.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+    let reference = run_churn_process(
+        &DoubleHashing::new(bins, 3),
+        bins / 4,
+        2 * bins,
+        TieBreak::Random,
+        &mut rng,
+    );
+    assert!(
+        reference.max_load() <= dh.stats.max_load() + 2
+            && dh.stats.max_load() <= reference.max_load() + 2,
+        "engine churn (max {}) drifted from ChurnProcess (max {})",
+        dh.stats.max_load(),
+        reference.max_load()
+    );
+}
+
+#[test]
+fn adversarial_reinsertion_does_not_break_double_hashing() {
+    // Correlated delete/re-insert traffic on a small working set (the
+    // engine's process model draws fresh choices per insert, so this is
+    // churn pressure, not fixed-probe replay — see AdversarialWorkload
+    // docs); max load must stay at two-choice scale.
+    let report = run_scenario(
+        "double",
+        &Scenario::Adversarial,
+        config(4, 1 << 10, 3, 41),
+        1 << 10,
+        200_000,
+        2_048,
+    )
+    .unwrap();
+    assert!(
+        report.stats.max_load() <= 6,
+        "adversarial traffic blew up max load: {}",
+        report.stats.max_load()
+    );
+}
+
+#[test]
+fn facade_prelude_serves_engine_types() {
+    let mut engine = Engine::by_name("double", EngineConfig::new(2, 128, 2)).unwrap();
+    let summary = engine.serve(&[Op::Insert(1), Op::Lookup(1), Op::Delete(1)], 8);
+    assert_eq!(summary.inserts, 1);
+    assert_eq!(summary.hits, 1);
+    assert_eq!(summary.deletes, 1);
+    let stats: EngineStats = engine.stats();
+    assert_eq!(stats.total_balls(), 0);
+}

@@ -35,7 +35,10 @@ fn table2_includes_fluid_column() {
 #[test]
 fn majorize_reports_zero_violations() {
     let out = experiment("majorize").expect("registered")(&tiny_opts());
-    for line in out.lines().filter(|l| l.starts_with(|c: char| c.is_ascii_digit())) {
+    for line in out
+        .lines()
+        .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+    {
         let cols: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(cols[3], "0", "majorization violated: {line}");
     }
@@ -44,7 +47,10 @@ fn majorize_reports_zero_violations() {
 #[test]
 fn branching_means_below_bounds() {
     let out = experiment("branching").expect("registered")(&tiny_opts());
-    for line in out.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())) {
+    for line in out
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+    {
         let cols: Vec<&str> = line.split_whitespace().collect();
         if cols.len() == 4 {
             let mean: f64 = cols[2].parse().expect("mean column");

@@ -85,9 +85,8 @@ fn heavily_loaded_case_indistinguishable() {
         assert!(z.abs() < 4.0, "load {load}: z = {z}");
     }
     // Mean load must be 16 in both.
-    let mean = |acc: &TrialAccumulator| -> f64 {
-        (0..40).map(|l| l as f64 * acc.mean_fraction(l)).sum()
-    };
+    let mean =
+        |acc: &TrialAccumulator| -> f64 { (0..40).map(|l| l as f64 * acc.mean_fraction(l)).sum() };
     assert!((mean(&a) - 16.0).abs() < 1e-9);
     assert!((mean(&b) - 16.0).abs() < 1e-9);
 }
@@ -156,7 +155,10 @@ fn queueing_indistinguishable() {
     let dh = run(AnyScheme::by_name("double", n, d).unwrap(), 1);
     let fluid = SupermarketOde::new(lambda, d as u32, 60).equilibrium_sojourn_time();
     assert!((fr - dh).abs() / fr < 0.04, "random {fr} vs double {dh}");
-    assert!((fr - fluid).abs() / fluid < 0.06, "sim {fr} vs fluid {fluid}");
+    assert!(
+        (fr - fluid).abs() / fluid < 0.06,
+        "sim {fr} vs fluid {fluid}"
+    );
 }
 
 #[test]
@@ -186,7 +188,10 @@ fn one_plus_beta_indistinguishable() {
     };
     let fr = run(false);
     let dh = run(true);
-    assert!((fr - dh).abs() < 1.0, "mean max loads diverge: {fr} vs {dh}");
+    assert!(
+        (fr - dh).abs() < 1.0,
+        "mean max loads diverge: {fr} vs {dh}"
+    );
 }
 
 #[test]

@@ -1,0 +1,77 @@
+//! The determinism contract of `ba_core::runner::run_trials`, exercised
+//! with real allocation workloads: identical results for any thread count
+//! on the same seed.
+
+use balanced_allocations::core::experiment::{run_load_experiment, ExperimentConfig};
+use balanced_allocations::core::runner::run_trials;
+use balanced_allocations::prelude::*;
+
+/// A full allocation trial: throw n balls, return the final loads.
+fn trial_loads(n: u64, seq: SeedSequence) -> Vec<u32> {
+    let scheme = DoubleHashing::new(n, 3);
+    let mut rng = seq.xoshiro();
+    run_process(&scheme, n, TieBreak::Random, &mut rng)
+        .loads()
+        .to_vec()
+}
+
+#[test]
+fn thread_counts_1_2_8_agree_on_full_allocations() {
+    let n = 1u64 << 10;
+    let trials = 24u64;
+    let seed = 7u64;
+    let run = |threads: usize| run_trials(trials, threads, seed, |_i, seq| trial_loads(n, seq));
+    let t1 = run(1);
+    let t2 = run(2);
+    let t8 = run(8);
+    assert_eq!(t1, t2, "threads=2 diverged from threads=1");
+    assert_eq!(t1, t8, "threads=8 diverged from threads=1");
+}
+
+#[test]
+fn thread_counts_agree_across_schemes() {
+    let n = 512u64;
+    for name in ["random", "double", "blocks", "one"] {
+        let d = if name == "one" { 1 } else { 3 };
+        let run = |threads: usize| {
+            run_trials(16, threads, 99, |_i, seq| {
+                let scheme = AnyScheme::by_name(name, n, d).expect("known scheme");
+                let mut rng = seq.xoshiro();
+                run_process(&scheme, n, TieBreak::Random, &mut rng).max_load()
+            })
+        };
+        assert_eq!(run(1), run(2), "{name}: threads=2 diverged");
+        assert_eq!(run(1), run(8), "{name}: threads=8 diverged");
+    }
+}
+
+#[test]
+fn experiment_layer_inherits_thread_independence() {
+    // The same contract one layer up: run_load_experiment with different
+    // `threads` settings must aggregate to identical statistics.
+    let n = 512u64;
+    let scheme = DoubleHashing::new(n, 3);
+    let acc = |threads: usize| {
+        run_load_experiment(
+            &scheme,
+            &ExperimentConfig::new(n).trials(12).seed(5).threads(threads),
+        )
+    };
+    let a = acc(1);
+    let b = acc(2);
+    let c = acc(8);
+    assert_eq!(a.overall_max_load(), b.overall_max_load());
+    assert_eq!(a.overall_max_load(), c.overall_max_load());
+    for load in 0..=a.overall_max_load() as usize {
+        assert_eq!(a.mean_fraction(load), b.mean_fraction(load), "load {load}");
+        assert_eq!(a.mean_fraction(load), c.mean_fraction(load), "load {load}");
+    }
+}
+
+#[test]
+fn seed_changes_results_thread_count_does_not() {
+    let f = |_i: u64, seq: SeedSequence| seq.xoshiro().next_u64();
+    let base = run_trials(32, 1, 1, f);
+    assert_eq!(base, run_trials(32, 8, 1, f));
+    assert_ne!(base, run_trials(32, 1, 2, f), "seed must matter");
+}
