@@ -2,14 +2,19 @@
 //!
 //! Serves one million mixed operations (churn: inserts + deletes, plus
 //! Zipf insert/lookup traffic) across 4 and 8 shards, for fully random
-//! and double hashing, and reports ops/s. Before timing anything it
-//! verifies the engine's determinism contract at the same scale: per-shard
-//! loads after 1M routed inserts must be bit-identical to single-threaded
-//! `ba_core::run_process` replays for the same `(seed, scheme)` pair.
+//! and double hashing in both choice modes (stream-drawn and keyed
+//! derivation), and reports ops/s. A second group races the three worker
+//! modes — sequential, scoped-spawn-per-batch, and the persistent
+//! channel-fed pool — on the same 1M-op workload, which is where the
+//! "persistent workers are no slower than scoped spawning" acceptance
+//! gate is measured. Before timing anything it verifies the engine's
+//! determinism contract at the same scale: per-shard loads after 1M
+//! routed inserts must be bit-identical to single-threaded `ba_core`
+//! replays for the same `(seed, scheme)` pair, in both choice modes.
 
-use ba_core::{run_process, TieBreak};
-use ba_engine::{route, Engine, EngineConfig, Op};
-use ba_hash::DoubleHashing;
+use ba_core::{run_process, run_process_keys, TieBreak};
+use ba_engine::{route, ChoiceMode, Engine, EngineConfig, Op, WorkerMode};
+use ba_hash::{ChoiceSource, DoubleHashing};
 use ba_rng::SeedSequence;
 use ba_workload::Scenario;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -30,45 +35,52 @@ fn mixed_stream(scenario: &Scenario, keyspace: u64) -> Vec<Op> {
 }
 
 /// The acceptance gate: 1M inserts across 4 shards, every shard's final
-/// loads equal to a single-threaded `ba_core` run over its routed stream.
+/// loads equal to a single-threaded `ba_core` run over its routed stream —
+/// once per choice mode.
 fn verify_against_core() {
     let shards = 4usize;
-    let mut engine = Engine::by_name(
-        "double",
-        EngineConfig::new(shards, BINS_PER_SHARD, 3).seed(SEED),
-    )
-    .expect("known scheme");
     let ops: Vec<Op> = (0..TOTAL_OPS).map(Op::Insert).collect();
-    engine.serve(&ops, BATCH);
-    for id in 0..shards {
-        let balls = ops
-            .iter()
-            .filter(|op| route(op.key(), shards) == id)
-            .count() as u64;
-        let mut rng = SeedSequence::new(SEED).child(id as u64).xoshiro();
-        let reference = run_process(
-            &DoubleHashing::new(BINS_PER_SHARD, 3),
-            balls,
-            TieBreak::Random,
-            &mut rng,
-        );
-        let shard = &engine.shards()[id];
-        assert_eq!(
-            shard.allocation().max_load(),
-            reference.max_load(),
-            "shard {id} max load diverged from single-threaded ba_core"
-        );
-        assert_eq!(
-            shard.allocation().loads(),
-            reference.loads(),
-            "shard {id} loads diverged from single-threaded ba_core"
+    for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+        let config = EngineConfig::new(shards, BINS_PER_SHARD, 3)
+            .seed(SEED)
+            .mode(mode);
+        let mut engine = Engine::by_name("double", config).expect("known scheme");
+        engine.serve(&ops, BATCH);
+        for id in 0..shards {
+            let keys: Vec<u64> = ops
+                .iter()
+                .map(Op::key)
+                .filter(|&k| route(k, shards) == id)
+                .collect();
+            let scheme = DoubleHashing::new(BINS_PER_SHARD, 3);
+            let mut rng = SeedSequence::new(SEED).child(id as u64).xoshiro();
+            let reference = match mode {
+                ChoiceMode::Stream => {
+                    run_process(&scheme, keys.len() as u64, TieBreak::Random, &mut rng)
+                }
+                ChoiceMode::Keyed => run_process_keys(
+                    &scheme,
+                    ChoiceSource::Keyed {
+                        salt: engine.shard(id).salt(),
+                    },
+                    keys.iter().copied(),
+                    TieBreak::Random,
+                    &mut rng,
+                ),
+            };
+            let shard = engine.shard(id);
+            assert_eq!(
+                shard.allocation().loads(),
+                reference.loads(),
+                "{mode:?} shard {id} loads diverged from single-threaded ba_core"
+            );
+        }
+        println!(
+            "verified: 1M {mode:?} inserts over {shards} shards match single-threaded ba_core \
+             (engine max load {})",
+            engine.max_load()
         );
     }
-    println!(
-        "verified: 1M inserts over {shards} shards match single-threaded ba_core \
-         (engine max load {})",
-        engine.max_load()
-    );
 }
 
 fn bench_mixed_ops(c: &mut Criterion) {
@@ -86,43 +98,66 @@ fn bench_mixed_ops(c: &mut Criterion) {
     for (label, ops) in [("churn", &churn), ("zipf", &zipf)] {
         for shards in [4usize, 8] {
             for scheme in ["random", "double"] {
-                let id = BenchmarkId::new(format!("{label}/{scheme}"), shards);
-                group.bench_with_input(id, ops, |b, ops| {
-                    b.iter(|| {
-                        let mut engine = Engine::by_name(
-                            scheme,
-                            EngineConfig::new(shards, BINS_PER_SHARD, 3).seed(SEED),
-                        )
-                        .expect("known scheme");
-                        let summary = engine.serve(ops, BATCH);
-                        assert_eq!(summary.total_ops(), TOTAL_OPS);
-                        black_box(engine.max_load())
-                    })
-                });
+                for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+                    let tag = match mode {
+                        ChoiceMode::Stream => "stream",
+                        ChoiceMode::Keyed => "keyed",
+                    };
+                    let id = BenchmarkId::new(format!("{label}/{scheme}/{tag}"), shards);
+                    group.bench_with_input(id, ops, |b, ops| {
+                        b.iter(|| {
+                            let mut engine = Engine::by_name(
+                                scheme,
+                                EngineConfig::new(shards, BINS_PER_SHARD, 3)
+                                    .seed(SEED)
+                                    .mode(mode),
+                            )
+                            .expect("known scheme");
+                            let summary = engine.serve(ops, BATCH);
+                            assert_eq!(summary.total_ops(), TOTAL_OPS);
+                            black_box(engine.max_load())
+                        })
+                    });
+                }
             }
         }
     }
     group.finish();
 }
 
-fn bench_parallel_vs_sequential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_parallelism");
+/// The worker-mode race: persistent channel-fed workers must be no slower
+/// than spawning scoped threads per batch (the pre-pool baseline) on the
+/// 1M-op mixed workload at 4 and 8 shards.
+fn bench_worker_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_workers");
     group.throughput(Throughput::Elements(TOTAL_OPS));
     let ops = mixed_stream(&Scenario::Uniform, BINS_PER_SHARD * 4);
-    for parallel in [false, true] {
-        let label = if parallel { "parallel" } else { "sequential" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
-            b.iter(|| {
-                let mut config = EngineConfig::new(8, BINS_PER_SHARD, 3).seed(SEED);
-                config.parallel = parallel;
-                let mut engine = Engine::by_name("double", config).expect("known scheme");
-                engine.serve(ops, BATCH);
-                black_box(engine.max_load())
-            })
-        });
+    for shards in [4usize, 8] {
+        for workers in [
+            WorkerMode::Sequential,
+            WorkerMode::Scoped,
+            WorkerMode::Persistent,
+        ] {
+            let label = match workers {
+                WorkerMode::Sequential => "sequential",
+                WorkerMode::Scoped => "scoped",
+                WorkerMode::Persistent => "persistent",
+            };
+            let id = BenchmarkId::new(label, shards);
+            group.bench_with_input(id, &ops, |b, ops| {
+                b.iter(|| {
+                    let config = EngineConfig::new(shards, BINS_PER_SHARD, 3)
+                        .seed(SEED)
+                        .workers(workers);
+                    let mut engine = Engine::by_name("double", config).expect("known scheme");
+                    engine.serve(ops, BATCH);
+                    black_box(engine.max_load())
+                })
+            });
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_mixed_ops, bench_parallel_vs_sequential);
+criterion_group!(benches, bench_mixed_ops, bench_worker_modes);
 criterion_main!(benches);

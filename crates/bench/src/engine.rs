@@ -7,7 +7,7 @@
 //! per-shard max load, and the serve rate.
 
 use crate::Opts;
-use ba_engine::EngineConfig;
+use ba_engine::{ChoiceMode, EngineConfig};
 use ba_stats::{format_fraction, Table, Welford};
 use ba_workload::{run_scenario, Scenario};
 
@@ -15,7 +15,12 @@ use ba_workload::{run_scenario, Scenario};
 /// the one-choice baseline).
 const SCHEMES: &[&str] = &["random", "double", "one"];
 
-/// Runs the scenario suite and renders one table per scenario.
+/// Runs the scenario suite and renders one table per scenario, with every
+/// scheme served in both choice modes: `stream` draws fresh choices from
+/// the shard RNG per insert (the paper's process model), `keyed` derives
+/// them from `hash(key, shard_salt)` so re-insertions replay their probe
+/// sequences (the hash-table model). The paper's claim predicts the two
+/// columns of any scheme stay statistically indistinguishable.
 pub fn engine(opts: &Opts) -> String {
     let shards = 4usize;
     let bins_per_shard = if opts.full { 1u64 << 14 } else { 1u64 << 10 };
@@ -27,32 +32,46 @@ pub fn engine(opts: &Opts) -> String {
     let mut out = format!(
         "Engine scenario suite: {shards} shards x {bins_per_shard} bins, d = {d}, \
          {total_ops} ops per cell, seed {}\n\
-         (engine parallelism is one worker per active shard; --threads 1 forces \
-         sequential serving, other values are ignored)\n\n",
+         (engine parallelism is one persistent worker per shard; --threads 1 \
+         forces sequential serving, other values are ignored)\n\n",
         opts.seed
     );
     for scenario in Scenario::all() {
-        let mut table = Table::new(&["scheme", "max load", "mean shard max", "balls", "Mops/s"]);
+        let mut table = Table::new(&[
+            "scheme",
+            "mode",
+            "max load",
+            "mean shard max",
+            "balls",
+            "Mops/s",
+        ]);
         for &scheme in SCHEMES {
-            let mut config =
-                EngineConfig::new(shards, bins_per_shard, if scheme == "one" { 1 } else { d })
-                    .seed(opts.seed);
-            if opts.threads == 1 {
-                config = config.sequential();
+            for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+                let mut config =
+                    EngineConfig::new(shards, bins_per_shard, if scheme == "one" { 1 } else { d })
+                        .seed(opts.seed)
+                        .mode(mode);
+                if opts.threads == 1 {
+                    config = config.sequential();
+                }
+                let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, batch)
+                    .expect("known scheme");
+                let mut shard_max = Welford::new();
+                for &m in &report.stats.max_loads() {
+                    shard_max.push(m as f64);
+                }
+                table.row_owned(vec![
+                    scheme.to_string(),
+                    match mode {
+                        ChoiceMode::Stream => "stream".to_string(),
+                        ChoiceMode::Keyed => "keyed".to_string(),
+                    },
+                    report.stats.max_load().to_string(),
+                    format_fraction(shard_max.mean()),
+                    report.stats.total_balls().to_string(),
+                    format!("{:.2}", report.ops_per_sec() / 1e6),
+                ]);
             }
-            let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, batch)
-                .expect("known scheme");
-            let mut shard_max = Welford::new();
-            for &m in &report.stats.max_loads() {
-                shard_max.push(m as f64);
-            }
-            table.row_owned(vec![
-                scheme.to_string(),
-                report.stats.max_load().to_string(),
-                format_fraction(shard_max.mean()),
-                report.stats.total_balls().to_string(),
-                format!("{:.2}", report.ops_per_sec() / 1e6),
-            ]);
         }
         out.push_str(&format!("--- scenario: {} ---\n", scenario.name()));
         out.push_str(&table.render());
@@ -79,6 +98,9 @@ mod tests {
         }
         for scheme in SCHEMES {
             assert!(text.contains(scheme), "missing scheme {scheme}");
+        }
+        for mode in ["stream", "keyed"] {
+            assert!(text.contains(mode), "missing mode {mode}");
         }
     }
 }

@@ -110,7 +110,7 @@ pub fn pairwise(opts: &Opts) -> String {
     )
 }
 
-/// Lemma 6's dominating branching process: E[B_Tn] <= e^(T d(d-1)).
+/// Lemma 6's dominating branching process: `E[B_Tn] <= e^(T d(d-1))`.
 pub fn branching(opts: &Opts) -> String {
     let n = 1u64 << 12;
     let trials = (opts.trials * 10).max(4000);

@@ -1,6 +1,6 @@
 //! The bins state and the greedy placement rule.
 
-use ba_hash::ChoiceScheme;
+use ba_hash::{ChoiceScheme, ChoiceSource};
 use ba_rng::Rng64;
 use ba_stats::LoadHistogram;
 
@@ -133,6 +133,34 @@ impl Allocation {
         chosen
     }
 
+    /// Generates the choices for the ball identified by `key` from
+    /// `source` into `buf`, then places it — [`Allocation::place`] made
+    /// generic over where the choice vector comes from.
+    ///
+    /// In [`ChoiceSource::Stream`] mode `key` is ignored and `rng` supplies
+    /// the choices (plus any random tie-breaks); in
+    /// [`ChoiceSource::Keyed`] mode the choices are a pure function of
+    /// `(key, salt)` and `rng` is consulted only for tie-breaks. Returns
+    /// the chosen bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != scheme.d()` or the scheme's bins exceed
+    /// this allocation's.
+    #[inline]
+    pub fn place_from<S: ChoiceScheme + ?Sized>(
+        &mut self,
+        scheme: &S,
+        source: ChoiceSource,
+        key: u64,
+        tie: TieBreak,
+        rng: &mut dyn Rng64,
+        buf: &mut [u64],
+    ) -> u64 {
+        source.fill(scheme, key, rng, buf);
+        self.place(buf, tie, rng)
+    }
+
     /// Removes one ball from `bin` (for deletion workloads).
     ///
     /// # Panics
@@ -159,11 +187,34 @@ pub fn run_process<S: ChoiceScheme + ?Sized, R: Rng64>(
     tie: TieBreak,
     rng: &mut R,
 ) -> Allocation {
+    run_process_keys(scheme, ChoiceSource::Stream, 0..m, tie, rng)
+}
+
+/// Throws one ball per key in `keys` into the scheme's `n` bins, with
+/// choice vectors produced by `source` — [`run_process`] made generic
+/// over the choice source.
+///
+/// With [`ChoiceSource::Stream`] the keys only set the ball count and this
+/// is exactly [`run_process`]; with [`ChoiceSource::Keyed`] each ball's
+/// probe sequence is derived from its key, so the run models a hash table
+/// rather than the paper's RNG-driven process, and `rng` is consumed only
+/// by random tie-breaks.
+pub fn run_process_keys<S, R, I>(
+    scheme: &S,
+    source: ChoiceSource,
+    keys: I,
+    tie: TieBreak,
+    rng: &mut R,
+) -> Allocation
+where
+    S: ChoiceScheme + ?Sized,
+    R: Rng64,
+    I: IntoIterator<Item = u64>,
+{
     let mut alloc = Allocation::new(scheme.n());
     let mut choices = vec![0u64; scheme.d()];
-    for _ in 0..m {
-        scheme.fill_choices(rng, &mut choices);
-        alloc.place(&choices, tie, rng);
+    for key in keys {
+        alloc.place_from(scheme, source, key, tie, rng, &mut choices);
     }
     alloc
 }
@@ -314,6 +365,63 @@ mod tests {
         // Min load must be near 16 as well (two-choice processes are tight).
         assert!(a.max_load() >= 16);
         assert!(a.max_load() <= 22, "max load {}", a.max_load());
+    }
+
+    #[test]
+    fn keyed_process_replays_bit_identically_across_interleavings() {
+        // The keyed source is a pure function of the keys: running the
+        // same key set twice gives identical tables, and the stream RNG is
+        // consumed only by tie-breaks.
+        let scheme = DoubleHashing::new(256, 3);
+        let source = ChoiceSource::Keyed { salt: 99 };
+        let a = run_process_keys(&scheme, source, 0..256, TieBreak::LowestIndex, &mut rng(1));
+        let b = run_process_keys(&scheme, source, 0..256, TieBreak::LowestIndex, &mut rng(2));
+        assert_eq!(
+            a.loads(),
+            b.loads(),
+            "keyed + deterministic ties must not depend on the rng"
+        );
+    }
+
+    #[test]
+    fn keyed_process_matches_stream_statistics() {
+        // The paper's claim carries over to the keyed formulation: the max
+        // load of a keyed double-hashing table matches the process model.
+        let n = 1u64 << 12;
+        let scheme = DoubleHashing::new(n, 3);
+        let keyed = run_process_keys(
+            &scheme,
+            ChoiceSource::Keyed { salt: 7 },
+            0..n,
+            TieBreak::Random,
+            &mut rng(10),
+        );
+        assert_eq!(keyed.balls(), n);
+        assert!(keyed.max_load() <= 4, "keyed max load {}", keyed.max_load());
+    }
+
+    #[test]
+    fn place_from_stream_is_plain_place() {
+        let scheme = DoubleHashing::new(64, 3);
+        let mut a = Allocation::new(64);
+        let mut b = Allocation::new(64);
+        let mut r1 = rng(5);
+        let mut r2 = rng(5);
+        let mut buf = [0u64; 3];
+        for key in 0..100 {
+            a.place_from(
+                &scheme,
+                ChoiceSource::Stream,
+                key,
+                TieBreak::Random,
+                &mut r1,
+                &mut buf,
+            );
+            let mut choices = [0u64; 3];
+            scheme.fill_choices(&mut r2, &mut choices);
+            b.place(&choices, TieBreak::Random, &mut r2);
+        }
+        assert_eq!(a.loads(), b.loads());
     }
 
     #[test]

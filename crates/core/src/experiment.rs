@@ -1,9 +1,25 @@
 //! Multi-trial experiment drivers: the aggregations behind each table.
 
-use crate::{run_process, TieBreak};
-use ba_hash::ChoiceScheme;
-use ba_rng::RngKind;
+use crate::{run_process_keys, TieBreak};
+use ba_hash::{ChoiceScheme, ChoiceSource};
+use ba_rng::{RngKind, SeedSequence};
 use ba_stats::TrialAccumulator;
+
+/// Child index reserved for deriving per-trial keyed salts, domain-
+/// separated from the trial RNG stream (which uses the node itself).
+const KEYED_SALT_CHILD: u64 = 0x5A17;
+
+/// Resolves a trial's choice source: the RNG stream, or keyed derivation
+/// with a salt unique to this trial's seed node.
+fn trial_source(keyed: bool, seq: &SeedSequence) -> ChoiceSource {
+    if keyed {
+        ChoiceSource::Keyed {
+            salt: seq.child(KEYED_SALT_CHILD).derive_u64(),
+        }
+    } else {
+        ChoiceSource::Stream
+    }
+}
 
 /// Configuration for a load-distribution experiment (Tables 1–7 share this
 /// shape; only the scheme, sizes, and tie rule vary).
@@ -21,6 +37,10 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Which generator family drives the trials.
     pub rng: RngKind,
+    /// Run each trial in keyed mode: ball `i`'s choices derive from key
+    /// `i` under a per-trial salt (the hash-table model) instead of the
+    /// trial's RNG stream (the paper's process model).
+    pub keyed: bool,
 }
 
 impl ExperimentConfig {
@@ -34,6 +54,7 @@ impl ExperimentConfig {
             seed: 1,
             threads: 0,
             rng: RngKind::Xoshiro,
+            keyed: false,
         }
     }
 
@@ -66,6 +87,12 @@ impl ExperimentConfig {
         self.rng = rng;
         self
     }
+
+    /// Selects keyed (hash-table) or stream (process-model) choices.
+    pub fn keyed(mut self, keyed: bool) -> Self {
+        self.keyed = keyed;
+        self
+    }
 }
 
 /// Runs the load-distribution experiment: `trials` independent runs of
@@ -81,7 +108,15 @@ where
     let histograms =
         crate::runner::run_trials(config.trials, config.threads, config.seed, |_i, seq| {
             let mut rng = seq.rng_of(config.rng);
-            run_process(scheme, config.balls, config.tie, &mut rng.as_mut()).histogram()
+            let source = trial_source(config.keyed, &seq);
+            run_process_keys(
+                scheme,
+                source,
+                0..config.balls,
+                config.tie,
+                &mut rng.as_mut(),
+            )
+            .histogram()
         });
     let mut acc = TrialAccumulator::new();
     for h in &histograms {
@@ -99,7 +134,15 @@ where
 {
     crate::runner::run_trials(config.trials, config.threads, config.seed, |_i, seq| {
         let mut rng = seq.rng_of(config.rng);
-        run_process(scheme, config.balls, config.tie, &mut rng.as_mut()).max_load()
+        let source = trial_source(config.keyed, &seq);
+        run_process_keys(
+            scheme,
+            source,
+            0..config.balls,
+            config.tie,
+            &mut rng.as_mut(),
+        )
+        .max_load()
     })
 }
 
@@ -162,6 +205,40 @@ mod tests {
         let b = run_load_experiment(&scheme, &ExperimentConfig::new(128).trials(5).seed(2));
         // Mean fractions at load 1 will differ in some decimal place.
         assert_ne!(a.mean_fraction(1), b.mean_fraction(1));
+    }
+
+    #[test]
+    fn keyed_experiment_reproducible_and_seed_sensitive() {
+        let scheme = DoubleHashing::new(256, 3);
+        let cfg = ExperimentConfig::new(256).trials(8).seed(4).keyed(true);
+        let a = run_load_experiment(&scheme, &cfg);
+        let b = run_load_experiment(&scheme, &cfg);
+        for l in 0..6 {
+            assert_eq!(a.mean_fraction(l), b.mean_fraction(l));
+        }
+        let c = run_load_experiment(&scheme, &cfg.clone().seed(5));
+        assert_ne!(
+            a.mean_fraction(1),
+            c.mean_fraction(1),
+            "keyed salt ignores seed"
+        );
+    }
+
+    #[test]
+    fn keyed_and_stream_experiments_agree_statistically() {
+        // The paper's indistinguishability claim across the two choice
+        // sources: mean load fractions match to experimental precision.
+        let n = 1u64 << 10;
+        let scheme = DoubleHashing::new(n, 3);
+        let stream = run_load_experiment(&scheme, &ExperimentConfig::new(n).trials(40).seed(6));
+        let keyed = run_load_experiment(
+            &scheme,
+            &ExperimentConfig::new(n).trials(40).seed(6).keyed(true),
+        );
+        for l in 0..4 {
+            let (a, b) = (stream.mean_fraction(l), keyed.mean_fraction(l));
+            assert!((a - b).abs() < 0.01, "load {l}: stream {a} vs keyed {b}");
+        }
     }
 
     #[test]

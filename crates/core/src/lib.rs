@@ -6,6 +6,9 @@
 //! * [`Allocation`] — the mutable bins state with a `place` operation
 //!   (least-loaded of the offered choices, configurable tie breaking);
 //! * [`run_process`] — throw `m` balls into `n` bins with a scheme;
+//! * [`run_process_keys`] — the same process generic over a
+//!   [`ChoiceSource`]: stream-drawn choices (the paper's model) or keyed
+//!   derivation from each ball's key (the hash-table model);
 //! * [`OnePlusBeta`] — the (1+β)-choice process of Peres–Talwar–Wieder,
 //!   included as an extension workload;
 //! * [`ChurnProcess`] — constant-population insert/delete churn (the
@@ -38,6 +41,7 @@ mod churn;
 pub mod experiment;
 pub mod runner;
 
-pub use allocation::{run_process, Allocation, TieBreak};
+pub use allocation::{run_process, run_process_keys, Allocation, TieBreak};
+pub use ba_hash::ChoiceSource;
 pub use beta::OnePlusBeta;
 pub use churn::{run_churn_process, ChurnProcess};

@@ -1,0 +1,244 @@
+//! A minimal in-repo MPSC channel for the persistent shard workers.
+//!
+//! The engine needs exactly two primitives: a job queue into each
+//! long-lived shard worker and a shared results queue back to the caller.
+//! Rather than pulling in an external channel crate, this module provides
+//! a small unbounded multi-producer/single-consumer channel built on
+//! `Mutex` + `Condvar`, with the disconnection semantics the worker pool
+//! relies on:
+//!
+//! * dropping every [`Sender`] wakes a blocked [`Receiver::recv`] with
+//!   [`RecvError`] — how workers learn the engine is shutting down;
+//! * dropping the [`Receiver`] makes [`Sender::send`] return the value
+//!   back in [`SendError`] — how a worker's result send stays non-fatal
+//!   while the engine is being torn down.
+//!
+//! Throughput needs are modest (a handful of messages per batch, each
+//! carrying a whole shard), so an uncontended mutex around a `VecDeque`
+//! is the right tool; no spinning, no capacity management.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The sending half; clone one per producer.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half; exactly one per channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The error returned by [`Sender::send`] when the receiver is gone;
+/// carries the unsent value back to the caller.
+pub struct SendError<T>(pub T);
+
+/// The error returned by [`Receiver::recv`] once the queue is empty and
+/// every sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Creates an unbounded MPSC channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        available: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, waking the receiver. Returns the value in
+    /// [`SendError`] if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel lock poisoned");
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.inner.state.lock().expect("channel lock poisoned");
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Wake a receiver blocked on an empty queue so it can observe
+            // the disconnect.
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value is available or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .available
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .receiver_alive = false;
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = channel();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_returns_value_after_receiver_drops() {
+        let (tx, rx) = channel::<String>();
+        drop(rx);
+        let err = tx.send("lost".to_string()).unwrap_err();
+        assert_eq!(err.0, "lost");
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel::<u64>();
+        let handle = std::thread::spawn(move || rx.recv());
+        // Give the receiver a moment to block, then send.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_disconnect() {
+        let (tx, rx) = channel::<u64>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = channel::<u64>();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.recv() {
+            seen.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..8u64)
+            .flat_map(|t| (0..100).map(move |i| t * 1000 + i))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+}

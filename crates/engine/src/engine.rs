@@ -1,10 +1,40 @@
 //! The sharded engine: routing, batched ingestion, parallel application.
 
+use crate::channel;
 use crate::metrics::{EngineStats, ShardStats};
 use crate::op::{BatchSummary, Op};
 use crate::shard::Shard;
 use ba_core::TieBreak;
 use ba_hash::{AnyScheme, ChoiceScheme};
+use ba_rng::RngKind;
+use std::fmt;
+
+/// How shards obtain each ball's choice vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChoiceMode {
+    /// Fresh choices from the shard's RNG stream per insert — the paper's
+    /// process model. Re-inserting a deleted key draws new bins.
+    #[default]
+    Stream,
+    /// Choices derived from `hash(key, shard_salt)` — the hash-table
+    /// model. Re-inserting a key replays its exact `f + k·g` probe
+    /// sequence; the RNG stream is consumed only by random tie-breaks.
+    Keyed,
+}
+
+/// How batches are applied across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkerMode {
+    /// Apply shard by shard on the calling thread.
+    Sequential,
+    /// Spawn scoped threads per batch — the pre-worker-pool baseline,
+    /// kept so `engine_throughput` can benchmark the pool against it.
+    Scoped,
+    /// Long-lived channel-fed worker threads, one per shard, spawned on
+    /// the first parallel batch and joined when the engine drops.
+    #[default]
+    Persistent,
+}
 
 /// Configuration for a sharded engine.
 #[derive(Debug, Clone)]
@@ -19,13 +49,19 @@ pub struct EngineConfig {
     pub tie: TieBreak,
     /// Master seed; shard `i` uses stream `SeedSequence::new(seed).child(i)`.
     pub seed: u64,
-    /// Apply batches across shards in parallel (`true`) or on the calling
-    /// thread (`false`). Results are identical either way.
-    pub parallel: bool,
+    /// Where choice vectors come from (stream or keyed derivation).
+    pub mode: ChoiceMode,
+    /// Which generator family drives each shard's stream (the paper's
+    /// PRNG ablation, at the engine layer).
+    pub rng: RngKind,
+    /// How batches are applied across shards. Results are bit-identical
+    /// for every mode; only throughput differs.
+    pub workers: WorkerMode,
 }
 
 impl EngineConfig {
-    /// A config with random ties, seed 1, and parallel application.
+    /// A config with random ties, seed 1, stream choices, the xoshiro
+    /// generator, and persistent parallel application.
     pub fn new(shards: usize, bins_per_shard: u64, d: usize) -> Self {
         Self {
             shards,
@@ -33,7 +69,9 @@ impl EngineConfig {
             d,
             tie: TieBreak::Random,
             seed: 1,
-            parallel: true,
+            mode: ChoiceMode::default(),
+            rng: RngKind::default(),
+            workers: WorkerMode::default(),
         }
     }
 
@@ -49,10 +87,32 @@ impl EngineConfig {
         self
     }
 
-    /// Chooses sequential (deterministic-by-construction) application.
-    pub fn sequential(mut self) -> Self {
-        self.parallel = false;
+    /// Sets the choice mode.
+    pub fn mode(mut self, mode: ChoiceMode) -> Self {
+        self.mode = mode;
         self
+    }
+
+    /// Selects keyed choice derivation (`hash(key, shard_salt)`).
+    pub fn keyed(self) -> Self {
+        self.mode(ChoiceMode::Keyed)
+    }
+
+    /// Sets the generator family for every shard's stream.
+    pub fn rng(mut self, rng: RngKind) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Sets the worker mode for batch application.
+    pub fn workers(mut self, workers: WorkerMode) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Chooses sequential (deterministic-by-construction) application.
+    pub fn sequential(self) -> Self {
+        self.workers(WorkerMode::Sequential)
     }
 }
 
@@ -65,21 +125,100 @@ pub fn route(key: u64, shards: usize) -> usize {
     ((mixed as u128 * shards as u128) >> 64) as usize
 }
 
+/// One unit of work for a persistent shard worker: the shard itself plus
+/// its slice of the batch. The shard travels *by value* through the
+/// channel — a shallow move of the struct, not a deep copy of its bin
+/// table and key index — so between batches the engine keeps full
+/// ownership (and `&`-access) to every shard.
+struct Job<S> {
+    shard: Shard<S>,
+    ops: Vec<Op>,
+}
+
+/// The persistent worker pool: one long-lived thread per shard, fed
+/// through a per-worker job channel and reporting through a per-worker
+/// results channel. Per-worker result channels (rather than one shared
+/// queue) make worker death observable: a panicking worker drops its
+/// sender, so the engine's `recv` on that worker's channel errors out
+/// instead of blocking forever. Dropping the pool closes the job channels
+/// (each worker's `recv` then errors out and the thread exits) and joins
+/// every handle — graceful shutdown without flags or timeouts.
+struct WorkerPool<S> {
+    jobs: Vec<channel::Sender<Job<S>>>,
+    results: Vec<channel::Receiver<(Shard<S>, BatchSummary)>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<S: ChoiceScheme + 'static> WorkerPool<S> {
+    fn spawn(shards: usize) -> Self {
+        let mut jobs = Vec::with_capacity(shards);
+        let mut results = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for id in 0..shards {
+            let (tx, rx) = channel::channel::<Job<S>>();
+            let (results_tx, results_rx) = channel::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("ba-shard-{id}"))
+                .spawn(move || {
+                    while let Ok(Job { mut shard, ops }) = rx.recv() {
+                        let summary = shard.apply(&ops);
+                        // A send error means the engine is gone mid-batch
+                        // (it panicked); nothing left to report to.
+                        if results_tx.send((shard, summary)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker thread");
+            jobs.push(tx);
+            results.push(results_rx);
+            handles.push(handle);
+        }
+        Self {
+            jobs,
+            results,
+            handles,
+        }
+    }
+}
+
+impl<S> fmt::Debug for WorkerPool<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl<S> Drop for WorkerPool<S> {
+    fn drop(&mut self) {
+        // Disconnect every job channel; workers drain and exit.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A sharded, concurrently-served balanced-allocation engine.
 ///
 /// Every shard runs the paper's "least loaded of d choices" placement over
 /// its own bin table, with choices produced by its own copy of a
-/// [`ChoiceScheme`] and randomness from its own [`ba_rng::SeedSequence`]
-/// stream. Batches of [`Op`]s are partitioned by [`route`] and applied to
-/// all shards — in parallel via scoped threads when
-/// [`EngineConfig::parallel`] is set — and each shard's outcome depends
-/// only on its own ordered op subsequence, so the engine's final state is
-/// bit-identical between sequential and parallel application and across
-/// any number of worker threads.
+/// [`ChoiceScheme`] — drawn from the shard's private RNG stream
+/// ([`ChoiceMode::Stream`]) or derived from each key
+/// ([`ChoiceMode::Keyed`]). Batches of [`Op`]s are partitioned by
+/// [`route`] and applied to all shards — by persistent channel-fed worker
+/// threads under [`WorkerMode::Persistent`] — and each shard's outcome
+/// depends only on its own ordered op subsequence, so the engine's final
+/// state is bit-identical between sequential and parallel application and
+/// across any number of worker threads.
 #[derive(Debug)]
 pub struct Engine<S> {
     config: EngineConfig,
-    shards: Vec<Shard<S>>,
+    /// `None` only transiently while a shard is out with a worker during
+    /// a persistent parallel batch; always `Some` between public calls.
+    shards: Vec<Option<Shard<S>>>,
+    pool: Option<WorkerPool<S>>,
 }
 
 impl Engine<AnyScheme> {
@@ -94,14 +233,18 @@ impl Engine<AnyScheme> {
     }
 }
 
-impl<S: ChoiceScheme> Engine<S> {
+impl<S: ChoiceScheme + 'static> Engine<S> {
     /// Builds an engine, constructing one scheme per shard via `factory`.
     pub fn with_scheme_factory(config: EngineConfig, factory: impl Fn(&EngineConfig) -> S) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
         let shards = (0..config.shards)
-            .map(|id| Shard::new(id, factory(&config), config.tie, config.seed))
+            .map(|id| Some(Shard::new(id, factory(&config), &config)))
             .collect();
-        Self { config, shards }
+        Self {
+            config,
+            shards,
+            pool: None,
+        }
     }
 
     /// The engine's configuration.
@@ -109,20 +252,37 @@ impl<S: ChoiceScheme> Engine<S> {
         &self.config
     }
 
-    /// Read access to the shards (metrics, tests).
-    pub fn shards(&self) -> &[Shard<S>] {
-        &self.shards
+    /// The shard at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= config.shards`.
+    pub fn shard(&self, id: usize) -> &Shard<S> {
+        self.shards[id]
+            .as_ref()
+            .expect("shard present between batches")
+    }
+
+    /// Read access to the shards (metrics, tests), indexed by shard id.
+    pub fn shards(&self) -> Vec<&Shard<S>> {
+        self.iter_shards().collect()
+    }
+
+    /// Allocation-free shard iteration for internal aggregates.
+    fn iter_shards(&self) -> impl Iterator<Item = &Shard<S>> {
+        self.shards
+            .iter()
+            .map(|slot| slot.as_ref().expect("shard present between batches"))
     }
 
     /// Total balls currently placed across all shards.
     pub fn total_balls(&self) -> u64 {
-        self.shards.iter().map(|s| s.allocation().balls()).sum()
+        self.iter_shards().map(|s| s.allocation().balls()).sum()
     }
 
     /// The maximum bin load across all shards.
     pub fn max_load(&self) -> u32 {
-        self.shards
-            .iter()
+        self.iter_shards()
             .map(|s| s.allocation().max_load())
             .max()
             .unwrap_or(0)
@@ -143,28 +303,69 @@ impl<S: ChoiceScheme> Engine<S> {
     /// same shard in their batch order, so insert-then-delete sequences
     /// behave as written even when shards run on different threads.
     pub fn apply_batch(&mut self, ops: &[Op]) -> BatchSummary {
-        let per_shard = self.partition(ops);
         let mut total = BatchSummary::default();
-        if self.config.parallel && self.shards.len() > 1 {
-            let summaries = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(per_shard.iter())
-                    .filter(|(_, ops)| !ops.is_empty())
-                    .map(|(shard, ops)| scope.spawn(move || shard.apply(ops)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for s in &summaries {
-                total.absorb(s);
-            }
+        let workers = if self.shards.len() > 1 {
+            self.config.workers
         } else {
-            for (shard, ops) in self.shards.iter_mut().zip(per_shard.iter()) {
-                total.absorb(&shard.apply(ops));
+            WorkerMode::Sequential
+        };
+        match workers {
+            WorkerMode::Sequential => {
+                let per_shard = self.partition(ops);
+                for (slot, ops) in self.shards.iter_mut().zip(per_shard.iter()) {
+                    let shard = slot.as_mut().expect("shard present between batches");
+                    total.absorb(&shard.apply(ops));
+                }
+            }
+            WorkerMode::Scoped => {
+                let per_shard = self.partition(ops);
+                let summaries = std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(per_shard.iter())
+                        .filter(|(_, ops)| !ops.is_empty())
+                        .map(|(slot, ops)| {
+                            let shard = slot.as_mut().expect("shard present between batches");
+                            scope.spawn(move || shard.apply(ops))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for summary in &summaries {
+                    total.absorb(summary);
+                }
+            }
+            WorkerMode::Persistent => {
+                let per_shard = self.partition(ops);
+                let pool = self
+                    .pool
+                    .get_or_insert_with(|| WorkerPool::spawn(self.shards.len()));
+                let mut outstanding = Vec::with_capacity(per_shard.len());
+                for (id, ops) in per_shard.into_iter().enumerate() {
+                    if ops.is_empty() {
+                        continue;
+                    }
+                    let shard = self.shards[id]
+                        .take()
+                        .expect("shard present between batches");
+                    if pool.jobs[id].send(Job { shard, ops }).is_err() {
+                        panic!("shard worker {id} exited early");
+                    }
+                    outstanding.push(id);
+                }
+                for id in outstanding {
+                    // A recv error means the worker dropped its sender
+                    // without replying — it panicked mid-apply.
+                    let (shard, summary) = pool.results[id]
+                        .recv()
+                        .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
+                    self.shards[id] = Some(shard);
+                    total.absorb(&summary);
+                }
             }
         }
         total
@@ -185,9 +386,15 @@ impl<S: ChoiceScheme> Engine<S> {
     /// Snapshot of per-shard and aggregate load/traffic statistics.
     pub fn stats(&self) -> EngineStats {
         EngineStats::new(
-            self.shards
-                .iter()
-                .map(|s| ShardStats::capture(s.id(), s.allocation(), s.lifetime_summary()))
+            self.iter_shards()
+                .map(|s| {
+                    ShardStats::capture(
+                        s.id(),
+                        s.allocation(),
+                        s.lifetime_summary(),
+                        s.observations(),
+                    )
+                })
                 .collect(),
         )
     }
@@ -196,14 +403,23 @@ impl<S: ChoiceScheme> Engine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_core::run_process;
-    use ba_hash::DoubleHashing;
+    use ba_core::{run_process, run_process_keys};
+    use ba_hash::{ChoiceSource, DoubleHashing};
     use ba_rng::SeedSequence;
 
-    fn engine(shards: usize, parallel: bool) -> Engine<AnyScheme> {
-        let mut cfg = EngineConfig::new(shards, 256, 3).seed(42);
-        cfg.parallel = parallel;
+    fn engine(shards: usize, workers: WorkerMode) -> Engine<AnyScheme> {
+        let cfg = EngineConfig::new(shards, 256, 3).seed(42).workers(workers);
         Engine::by_name("double", cfg).unwrap()
+    }
+
+    fn mixed_ops(count: u64) -> Vec<Op> {
+        (0..count)
+            .map(|i| match i % 5 {
+                0..=2 => Op::Insert(i / 2),
+                3 => Op::Lookup(i / 3),
+                _ => Op::Delete(i / 2),
+            })
+            .collect()
     }
 
     #[test]
@@ -238,19 +454,34 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
-        let ops: Vec<Op> = (0..20_000u64)
-            .map(|i| match i % 5 {
-                0..=2 => Op::Insert(i / 2),
-                3 => Op::Lookup(i / 3),
-                _ => Op::Delete(i / 2),
-            })
-            .collect();
-        let mut par = engine(8, true);
-        let mut seq = engine(8, false);
-        let sp = par.serve(&ops, 1024);
-        let ss = seq.serve(&ops, 1024);
-        assert_eq!(sp, ss);
+    fn every_worker_mode_agrees() {
+        let ops = mixed_ops(20_000);
+        let mut seq = engine(8, WorkerMode::Sequential);
+        let ss = seq.serve(&ops, 1_024);
+        for workers in [WorkerMode::Scoped, WorkerMode::Persistent] {
+            let mut par = engine(8, workers);
+            let sp = par.serve(&ops, 1_024);
+            assert_eq!(sp, ss, "{workers:?}");
+            for (a, b) in par.shards().iter().zip(seq.shards()) {
+                assert_eq!(
+                    a.allocation().loads(),
+                    b.allocation().loads(),
+                    "{workers:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_pool_survives_many_batches() {
+        // The worker pool spawns once and serves every subsequent batch;
+        // per-shard state keeps matching the sequential engine throughout.
+        let ops = mixed_ops(10_000);
+        let mut par = engine(4, WorkerMode::Persistent);
+        let mut seq = engine(4, WorkerMode::Sequential);
+        for chunk in ops.chunks(100) {
+            assert_eq!(par.apply_batch(chunk), seq.apply_batch(chunk));
+        }
         for (a, b) in par.shards().iter().zip(seq.shards()) {
             assert_eq!(a.allocation().loads(), b.allocation().loads());
         }
@@ -259,8 +490,8 @@ mod tests {
     #[test]
     fn batch_size_does_not_change_results() {
         let ops: Vec<Op> = (0..5_000u64).map(Op::Insert).collect();
-        let mut small = engine(4, true);
-        let mut large = engine(4, true);
+        let mut small = engine(4, WorkerMode::Persistent);
+        let mut large = engine(4, WorkerMode::Persistent);
         small.serve(&ops, 64);
         large.serve(&ops, 5_000);
         for (a, b) in small.shards().iter().zip(large.shards()) {
@@ -288,15 +519,62 @@ mod tests {
             let scheme = DoubleHashing::new(512, 3);
             let mut rng = SeedSequence::new(seed).child(id as u64).xoshiro();
             let reference = run_process(&scheme, balls, TieBreak::Random, &mut rng);
-            let shard = &eng.shards()[id];
+            let shard = eng.shard(id);
             assert_eq!(shard.allocation().loads(), reference.loads());
             assert_eq!(shard.allocation().max_load(), reference.max_load());
         }
     }
 
     #[test]
+    fn keyed_per_shard_state_matches_core_keyed_run() {
+        // The keyed twin: shard i's table equals run_process_keys over its
+        // routed key stream with the shard's own salt.
+        let seed = 13u64;
+        let shards = 4usize;
+        let cfg = EngineConfig::new(shards, 512, 3).seed(seed).keyed();
+        let mut eng = Engine::by_name("double", cfg).unwrap();
+        let ops: Vec<Op> = (0..4_096u64).map(Op::Insert).collect();
+        eng.apply_batch(&ops);
+
+        for id in 0..shards {
+            let keys: Vec<u64> = ops
+                .iter()
+                .map(|op| op.key())
+                .filter(|&k| route(k, shards) == id)
+                .collect();
+            let scheme = DoubleHashing::new(512, 3);
+            let mut rng = SeedSequence::new(seed).child(id as u64).xoshiro();
+            let shard = eng.shard(id);
+            let reference = run_process_keys(
+                &scheme,
+                ChoiceSource::Keyed { salt: shard.salt() },
+                keys.iter().copied(),
+                TieBreak::Random,
+                &mut rng,
+            );
+            assert_eq!(shard.allocation().loads(), reference.loads(), "shard {id}");
+        }
+    }
+
+    #[test]
+    fn rng_kind_flows_into_every_shard() {
+        let mk = |rng: RngKind| {
+            let mut eng =
+                Engine::by_name("double", EngineConfig::new(4, 256, 3).seed(3).rng(rng)).unwrap();
+            eng.apply_batch(&(0..2_048u64).map(Op::Insert).collect::<Vec<_>>());
+            eng.stats().merged_histogram().counts().to_vec()
+        };
+        let xo = mk(RngKind::Xoshiro);
+        let pcg = mk(RngKind::Pcg64);
+        let lcg = mk(RngKind::Lcg48);
+        assert_eq!(xo, mk(RngKind::Xoshiro), "same kind must reproduce");
+        // Different generator families must produce different tables.
+        assert!(xo != pcg || xo != lcg, "PRNG ablation collapsed");
+    }
+
+    #[test]
     fn conservation_across_mixed_traffic() {
-        let mut eng = engine(4, true);
+        let mut eng = engine(4, WorkerMode::Persistent);
         let mut ops = Vec::new();
         for key in 0..3_000u64 {
             ops.push(Op::Insert(key));
@@ -316,6 +594,54 @@ mod tests {
         let stats = eng.stats();
         assert_eq!(stats.total_balls(), 2_000);
         assert_eq!(stats.total_ops(), 4_500);
+        let observed = stats.merged_observations();
+        assert_eq!(observed.insert_load.count(), 3_000);
+        assert_eq!(observed.delete_load.count(), 1_000);
+        assert_eq!(observed.lookup_depth.count(), 500);
+    }
+
+    /// A scheme that panics when asked to derive choices for a poison
+    /// key — the hook the worker-panic regression test needs.
+    #[derive(Debug, Clone)]
+    struct Exploding {
+        n: u64,
+        poison: u64,
+    }
+
+    impl ChoiceScheme for Exploding {
+        fn n(&self) -> u64 {
+            self.n
+        }
+        fn d(&self) -> usize {
+            1
+        }
+        fn fill_choices(&self, rng: &mut dyn ba_rng::Rng64, out: &mut [u64]) {
+            out[0] = rng.gen_range(self.n);
+        }
+        fn choices_for(&self, key: u64, _salt: u64, out: &mut [u64]) {
+            assert_ne!(key, self.poison, "poison key reached the scheme");
+            out[0] = key % self.n;
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A shard panicking inside a persistent worker must surface as a
+        // panic in apply_batch — not leave the engine blocked forever on
+        // a result that will never arrive.
+        let result = std::panic::catch_unwind(|| {
+            let cfg = EngineConfig::new(2, 64, 1).seed(1).keyed();
+            let mut eng = Engine::with_scheme_factory(cfg, |_| Exploding { n: 64, poison: 42 });
+            eng.apply_batch(&(0..256u64).map(Op::Insert).collect::<Vec<_>>());
+        });
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn engine_drop_joins_workers_cleanly() {
+        let mut eng = engine(8, WorkerMode::Persistent);
+        eng.apply_batch(&(0..1_000u64).map(Op::Insert).collect::<Vec<_>>());
+        drop(eng); // must not hang or leak threads
     }
 
     #[test]
@@ -327,6 +653,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
-        engine(2, false).serve(&[Op::Insert(1)], 0);
+        engine(2, WorkerMode::Sequential).serve(&[Op::Insert(1)], 0);
     }
 }

@@ -12,16 +12,28 @@
 //! * **Sharding** — keys route to shards by a fixed SplitMix64 hash
 //!   ([`route`]); each shard owns an independent bin table, so shards never
 //!   contend and the engine scales linearly with cores.
+//! * **Choice sources** — [`ChoiceMode::Stream`] draws fresh choices from
+//!   each shard's RNG stream (the paper's process model);
+//!   [`ChoiceMode::Keyed`] derives them from `hash(key, shard_salt)` (the
+//!   hash-table model), so deleting and re-inserting a key replays its
+//!   exact `f + k·g` probe sequence. The generator family behind the
+//!   stream is selectable via [`EngineConfig::rng`] (the paper's PRNG
+//!   ablation, served live).
 //! * **Determinism** — shard `i` draws all randomness from
 //!   `SeedSequence::new(seed).child(i)`, and only inserts consume the
-//!   stream, so the final state is a pure function of `(seed, scheme,
-//!   op stream)`: parallel and sequential application agree bit-for-bit,
-//!   and an insert-only shard reproduces `ba_core::run_process` exactly.
-//! * **Batched ingestion** — [`Engine::serve`] chunks an op stream into
+//!   stream, so the final state is a pure function of `(config,
+//!   op stream)`: sequential, scoped, and persistent-worker application
+//!   agree bit-for-bit, and an insert-only shard reproduces
+//!   `ba_core::run_process` (or `run_process_keys` in keyed mode) exactly.
+//! * **Persistent workers** — [`Engine::serve`] chunks an op stream into
 //!   batches; each batch is partitioned per shard (order-preserving) and
-//!   applied by scoped worker threads.
+//!   fanned out to one long-lived worker thread per shard over in-repo
+//!   MPSC channels ([`WorkerMode::Persistent`]), avoiding a thread spawn
+//!   per batch; workers join gracefully when the engine drops.
 //! * **Metrics** — [`EngineStats`] snapshots per-shard load histograms
-//!   (via [`ba_stats::LoadHistogram`]), max loads, and traffic counters.
+//!   (via [`ba_stats::LoadHistogram`]), max loads, traffic counters, and
+//!   online per-op-kind load/probe percentiles
+//!   ([`OnlinePercentiles`]).
 //!
 //! # Example
 //!
@@ -42,12 +54,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod engine;
 mod metrics;
 mod op;
 mod shard;
 
-pub use engine::{route, Engine, EngineConfig};
-pub use metrics::{EngineStats, ShardStats};
+pub use engine::{route, ChoiceMode, Engine, EngineConfig, WorkerMode};
+pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
 pub use shard::Shard;

@@ -4,6 +4,153 @@ use crate::op::BatchSummary;
 use ba_core::Allocation;
 use ba_stats::{format_fraction, LoadHistogram, Table};
 
+/// An online tracker of small non-negative integer observations: an exact
+/// count-per-value histogram.
+///
+/// The quantities the engine observes per operation — bin loads, probe
+/// indices, per-key stack depths — are tiny integers (max load is
+/// `O(log log n)`), so an exact integer histogram costs a few words,
+/// makes every percentile exact rather than approximated, and derives
+/// mean/std-dev/max without a parallel accumulator. Merging two trackers
+/// (shard → engine aggregation) is lossless.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnlinePercentiles {
+    /// Count of observations per value; the last slot is always nonzero.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl OnlinePercentiles {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u32) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The mean observation (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(value, &count)| value as f64 * count as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// The sample standard deviation (0 with fewer than 2 observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.total < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let sq_dev: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(value, &count)| {
+                let delta = value as f64 - mean;
+                delta * delta * count as f64
+            })
+            .sum();
+        (sq_dev / (self.total - 1) as f64).sqrt()
+    }
+
+    /// The largest observation (0 if empty).
+    pub fn max(&self) -> u32 {
+        self.counts.len().saturating_sub(1) as u32
+    }
+
+    /// The exact `p`-th percentile (nearest-rank; `p` in `[0, 100]`),
+    /// or 0 if nothing was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u32 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return value as u32;
+            }
+        }
+        (self.counts.len().saturating_sub(1)) as u32
+    }
+
+    /// Count of observations per value.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another tracker into this one (lossless).
+    pub fn merge(&mut self, other: &OnlinePercentiles) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &count) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += count;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Per-op-kind online observations a shard accumulates while serving.
+///
+/// Each field answers a different operator question: how deep do inserts
+/// land, which probe wins, how loaded are the bins deletes vacate, and
+/// how many balls do lookups find.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpObservations {
+    /// Load of the destination bin *after* each insert — the depth the
+    /// ball landed at (1 = was empty).
+    pub insert_load: OnlinePercentiles,
+    /// Index of the winning probe within the choice vector per insert
+    /// (0 = first choice won). When a scheme offers the same bin at
+    /// several positions (with-replacement sampling), the *first*
+    /// position offering the chosen bin is recorded — duplicate probes
+    /// address one counter, so later duplicates are indistinguishable.
+    pub insert_probe: OnlinePercentiles,
+    /// Load of the source bin *before* each successful delete.
+    pub delete_load: OnlinePercentiles,
+    /// Live balls found per lookup (0 = miss).
+    pub lookup_depth: OnlinePercentiles,
+}
+
+impl OpObservations {
+    /// Merges another set of observations into this one.
+    pub fn merge(&mut self, other: &OpObservations) {
+        self.insert_load.merge(&other.insert_load);
+        self.insert_probe.merge(&other.insert_probe);
+        self.delete_load.merge(&other.delete_load);
+        self.lookup_depth.merge(&other.lookup_depth);
+    }
+}
+
 /// A point-in-time snapshot of one shard.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
@@ -19,11 +166,18 @@ pub struct ShardStats {
     pub histogram: LoadHistogram,
     /// Lifetime operation counters.
     pub traffic: BatchSummary,
+    /// Per-op-kind load/probe observations over the shard's lifetime.
+    pub observed: OpObservations,
 }
 
 impl ShardStats {
     /// Captures a snapshot from a shard's allocation and counters.
-    pub fn capture(shard: usize, alloc: &Allocation, traffic: &BatchSummary) -> Self {
+    pub fn capture(
+        shard: usize,
+        alloc: &Allocation,
+        traffic: &BatchSummary,
+        observed: &OpObservations,
+    ) -> Self {
         Self {
             shard,
             bins: alloc.n(),
@@ -31,6 +185,7 @@ impl ShardStats {
             max_load: alloc.max_load(),
             histogram: alloc.histogram(),
             traffic: *traffic,
+            observed: observed.clone(),
         }
     }
 }
@@ -70,6 +225,15 @@ impl EngineStats {
     /// Per-shard maximum loads, indexed by shard id.
     pub fn max_loads(&self) -> Vec<u32> {
         self.shards.iter().map(|s| s.max_load).collect()
+    }
+
+    /// The engine-wide per-op-kind observations, merged across shards.
+    pub fn merged_observations(&self) -> OpObservations {
+        let mut merged = OpObservations::default();
+        for shard in &self.shards {
+            merged.merge(&shard.observed);
+        }
+        merged
     }
 
     /// The merged load histogram over every shard's bins.
@@ -113,14 +277,34 @@ impl EngineStats {
             ]);
         }
         let merged = self.merged_histogram();
-        format!(
+        let observed = self.merged_observations();
+        let mut out = format!(
             "{}\ntotal: {} balls in {} bins, {} ops served, max load {}\n",
             table.render(),
             merged.total_balls(),
             merged.total_bins(),
             self.total_ops(),
             self.max_load(),
-        )
+        );
+        for (label, tracker) in [
+            ("insert landing load", &observed.insert_load),
+            ("insert winning probe", &observed.insert_probe),
+            ("delete vacated load", &observed.delete_load),
+            ("lookup depth", &observed.lookup_depth),
+        ] {
+            if tracker.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{label}: mean {} p50 {} p99 {} max {} ({} obs)\n",
+                format_fraction(tracker.mean()),
+                tracker.percentile(50.0),
+                tracker.percentile(99.0),
+                tracker.max(),
+                tracker.count(),
+            ));
+        }
+        out
     }
 }
 
@@ -149,9 +333,13 @@ mod tests {
             lookups: 10,
             hits: 5,
         };
+        let mut observed = OpObservations::default();
+        for load in [1u32, 1, 2, 3] {
+            observed.insert_load.record(load);
+        }
         EngineStats::new(vec![
-            ShardStats::capture(0, &filled(64, 100, 1), &traffic),
-            ShardStats::capture(1, &filled(64, 50, 2), &traffic),
+            ShardStats::capture(0, &filled(64, 100, 1), &traffic, &observed),
+            ShardStats::capture(1, &filled(64, 50, 2), &traffic, &observed),
         ])
     }
 
@@ -185,5 +373,79 @@ mod tests {
         assert_eq!(s.total_balls(), 0);
         assert_eq!(s.max_load(), 0);
         assert_eq!(s.merged_histogram().total_bins(), 0);
+        assert_eq!(s.merged_observations().insert_load.count(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut t = OnlinePercentiles::new();
+        for v in [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 10);
+        assert_eq!(t.percentile(0.0), 1);
+        assert_eq!(t.percentile(50.0), 5);
+        assert_eq!(t.percentile(90.0), 9);
+        assert_eq!(t.percentile(99.0), 10);
+        assert_eq!(t.percentile(100.0), 10);
+        assert_eq!(t.max(), 10);
+        assert!((t.mean() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_percentiles_return_zero() {
+        let t = OnlinePercentiles::new();
+        assert_eq!(t.percentile(50.0), 0);
+        assert_eq!(t.max(), 0);
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        OnlinePercentiles::new().percentile(101.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut whole = OnlinePercentiles::new();
+        let mut left = OnlinePercentiles::new();
+        let mut right = OnlinePercentiles::new();
+        for i in 0..100u32 {
+            let v = (i * 7) % 13;
+            whole.record(v);
+            if i < 40 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(left.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merged_observations_sum_shard_counts() {
+        let s = stats();
+        let merged = s.merged_observations();
+        // Two shards, four recorded insert loads each.
+        assert_eq!(merged.insert_load.count(), 8);
+        assert_eq!(merged.insert_load.percentile(50.0), 1);
+        assert_eq!(merged.insert_load.max(), 3);
+    }
+
+    #[test]
+    fn render_includes_percentile_lines() {
+        let text = stats().render();
+        assert!(text.contains("insert landing load"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        // No deletes/lookups recorded: those lines are omitted.
+        assert!(!text.contains("delete vacated load"), "{text}");
     }
 }

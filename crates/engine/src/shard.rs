@@ -1,51 +1,74 @@
-//! One shard: a bin table, its key index, and its private RNG stream.
+//! One shard: a bin table, its key index, and its choice source.
 
+use crate::engine::{ChoiceMode, EngineConfig};
+use crate::metrics::OpObservations;
 use crate::op::{BatchSummary, Op};
 use ba_core::{Allocation, TieBreak};
-use ba_hash::ChoiceScheme;
-use ba_rng::{SeedSequence, Xoshiro256StarStar};
+use ba_hash::{ChoiceScheme, ChoiceSource};
+use ba_rng::{AnyRng, SeedSequence};
 use std::collections::HashMap;
+
+/// Child index reserved for deriving a shard's keyed salt, domain-
+/// separated from the shard's RNG stream (which uses the node itself).
+const SALT_CHILD: u64 = 0x5A17;
 
 /// A single-threaded slice of the engine's keyspace.
 ///
 /// The shard owns an [`Allocation`] over its scheme's bins, an index from
 /// key to the bins currently holding that key's balls, and a deterministic
-/// RNG stream derived from `SeedSequence::new(seed).child(shard_id)`.
+/// RNG stream derived from `SeedSequence::new(seed).child(shard_id)` in
+/// the configured [`ba_rng::RngKind`].
 ///
-/// The determinism contract mirrors `ba_core::runner`: a shard's final
-/// state is a pure function of `(seed, shard_id, scheme, tie,
-/// ordered op sequence)` — never of which thread ran it or what the other
-/// shards did. Only inserts consume randomness (choice generation and
-/// random tie-breaks), exactly like `ba_core::run_process`, so an
-/// insert-only shard is bit-identical to a single-threaded `run_process`
-/// over the same keys' stream.
+/// Choice vectors come from the configured [`ChoiceMode`]:
+///
+/// * **Stream** — each insert draws fresh choices from the shard's RNG
+///   stream (the paper's process model); only inserts consume randomness,
+///   exactly like `ba_core::run_process`, so an insert-only shard is
+///   bit-identical to a single-threaded `run_process` over the same
+///   stream.
+/// * **Keyed** — choices derive from `hash(key, shard_salt)` (the
+///   hash-table model): deleting and re-inserting a key replays its exact
+///   `f + k·g` probe sequence, and the RNG stream is consumed only by
+///   random tie-breaks.
+///
+/// Either way the determinism contract mirrors `ba_core::runner`: a
+/// shard's final state is a pure function of `(config, shard_id, ordered
+/// op sequence)` — never of which thread ran it or what other shards did.
 #[derive(Debug, Clone)]
 pub struct Shard<S> {
     id: usize,
     scheme: S,
     alloc: Allocation,
     tie: TieBreak,
-    rng: Xoshiro256StarStar,
+    rng: AnyRng,
+    mode: ChoiceMode,
+    salt: u64,
     /// key -> stack of bins holding that key's balls (LIFO delete order).
     index: HashMap<u64, Vec<u64>>,
     choices: Vec<u64>,
     lifetime: BatchSummary,
+    observed: OpObservations,
 }
 
 impl<S: ChoiceScheme> Shard<S> {
-    /// Creates an empty shard with its own RNG stream.
-    pub fn new(id: usize, scheme: S, tie: TieBreak, seed: u64) -> Self {
+    /// Creates an empty shard with its own RNG stream and keyed salt,
+    /// both derived from `config.seed` and `id`.
+    pub fn new(id: usize, scheme: S, config: &EngineConfig) -> Self {
         let alloc = Allocation::new(scheme.n());
         let d = scheme.d();
+        let node = SeedSequence::new(config.seed).child(id as u64);
         Self {
             id,
             scheme,
             alloc,
-            tie,
-            rng: SeedSequence::new(seed).child(id as u64).xoshiro(),
+            tie: config.tie,
+            rng: node.any_rng(config.rng),
+            mode: config.mode,
+            salt: node.child(SALT_CHILD).derive_u64(),
             index: HashMap::new(),
             choices: vec![0u64; d],
             lifetime: BatchSummary::default(),
+            observed: OpObservations::default(),
         }
     }
 
@@ -64,6 +87,37 @@ impl<S: ChoiceScheme> Shard<S> {
         &self.scheme
     }
 
+    /// The shard's choice mode.
+    pub fn mode(&self) -> ChoiceMode {
+        self.mode
+    }
+
+    /// The salt mixed into keyed choice derivation for this shard.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The [`ChoiceSource`] this shard feeds to the allocation core.
+    pub fn source(&self) -> ChoiceSource {
+        match self.mode {
+            ChoiceMode::Stream => ChoiceSource::Stream,
+            ChoiceMode::Keyed => ChoiceSource::Keyed { salt: self.salt },
+        }
+    }
+
+    /// The probe sequence `key` would use in keyed mode — a pure function
+    /// of `(key, shard salt)`, independent of the shard's current state.
+    pub fn probes_for(&self, key: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.scheme.d()];
+        self.scheme.choices_for(key, self.salt, &mut out);
+        out
+    }
+
+    /// The bins currently holding balls for `key`, oldest first.
+    pub fn bins_of(&self, key: u64) -> Option<&[u64]> {
+        self.index.get(&key).map(Vec::as_slice)
+    }
+
     /// Number of distinct keys with at least one live ball.
     pub fn live_keys(&self) -> usize {
         self.index.len()
@@ -74,10 +128,23 @@ impl<S: ChoiceScheme> Shard<S> {
         &self.lifetime
     }
 
+    /// Per-op-kind load/probe observations over the shard's lifetime.
+    pub fn observations(&self) -> &OpObservations {
+        &self.observed
+    }
+
     /// Places one ball for `key`; returns the chosen bin.
     pub fn insert(&mut self, key: u64) -> u64 {
-        self.scheme.fill_choices(&mut self.rng, &mut self.choices);
+        self.source()
+            .fill(&self.scheme, key, &mut self.rng, &mut self.choices);
         let bin = self.alloc.place(&self.choices, self.tie, &mut self.rng);
+        let probe = self
+            .choices
+            .iter()
+            .position(|&c| c == bin)
+            .expect("place returns one of the offered choices");
+        self.observed.insert_load.record(self.alloc.load(bin));
+        self.observed.insert_probe.record(probe as u32);
         self.index.entry(key).or_default().push(bin);
         self.lifetime.inserts += 1;
         bin
@@ -91,6 +158,7 @@ impl<S: ChoiceScheme> Shard<S> {
                 if bins.is_empty() {
                     self.index.remove(&key);
                 }
+                self.observed.delete_load.record(self.alloc.load(bin));
                 self.alloc.remove(bin);
                 self.lifetime.deletes += 1;
                 Some(bin)
@@ -105,7 +173,9 @@ impl<S: ChoiceScheme> Shard<S> {
     /// Whether any ball for `key` is live.
     pub fn lookup(&mut self, key: u64) -> bool {
         self.lifetime.lookups += 1;
-        let hit = self.index.contains_key(&key);
+        let depth = self.index.get(&key).map_or(0, Vec::len);
+        self.observed.lookup_depth.record(depth as u32);
+        let hit = depth > 0;
         if hit {
             self.lifetime.hits += 1;
         }
@@ -135,11 +205,21 @@ impl<S: ChoiceScheme> Shard<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_core::run_process;
+    use crate::engine::EngineConfig;
+    use ba_core::{run_process, run_process_keys};
     use ba_hash::DoubleHashing;
+    use ba_rng::RngKind;
+
+    fn config(seed: u64) -> EngineConfig {
+        EngineConfig::new(1, 64, 3).seed(seed)
+    }
 
     fn shard(seed: u64) -> Shard<DoubleHashing> {
-        Shard::new(0, DoubleHashing::new(64, 3), TieBreak::Random, seed)
+        Shard::new(0, DoubleHashing::new(64, 3), &config(seed))
+    }
+
+    fn keyed_shard(seed: u64) -> Shard<DoubleHashing> {
+        Shard::new(0, DoubleHashing::new(64, 3), &config(seed).keyed())
     }
 
     #[test]
@@ -181,7 +261,8 @@ mod tests {
         // ba_core::run_process bit-for-bit on the same derived stream.
         let seed = 99u64;
         let scheme = DoubleHashing::new(128, 3);
-        let mut s = Shard::new(5, scheme.clone(), TieBreak::Random, seed);
+        let cfg = EngineConfig::new(8, 128, 3).seed(seed);
+        let mut s = Shard::new(5, scheme.clone(), &cfg);
         for key in 0..200u64 {
             s.insert(key);
         }
@@ -189,6 +270,81 @@ mod tests {
         let reference = run_process(&scheme, 200, TieBreak::Random, &mut rng);
         assert_eq!(s.allocation().loads(), reference.loads());
         assert_eq!(s.allocation().max_load(), reference.max_load());
+    }
+
+    #[test]
+    fn keyed_shard_matches_run_process_keys() {
+        // The keyed twin of the contract: insert-only keyed traffic equals
+        // run_process_keys over the same keys, salt, and tie-break stream.
+        let seed = 17u64;
+        let scheme = DoubleHashing::new(128, 3);
+        let cfg = EngineConfig::new(8, 128, 3).seed(seed).keyed();
+        let mut s = Shard::new(2, scheme.clone(), &cfg);
+        let keys: Vec<u64> = (0..200u64).map(|k| k * 3 + 1).collect();
+        for &key in &keys {
+            s.insert(key);
+        }
+        let mut rng = SeedSequence::new(seed).child(2).xoshiro();
+        let reference = run_process_keys(
+            &scheme,
+            ChoiceSource::Keyed { salt: s.salt() },
+            keys.iter().copied(),
+            TieBreak::Random,
+            &mut rng,
+        );
+        assert_eq!(s.allocation().loads(), reference.loads());
+    }
+
+    #[test]
+    fn keyed_reinsert_replays_probe_sequence() {
+        let mut s = keyed_shard(4);
+        for key in 0..40u64 {
+            s.insert(key);
+        }
+        let key = 11u64;
+        let probes = s.probes_for(key);
+        for _ in 0..30 {
+            s.delete(key).expect("key live");
+            let bin = s.insert(key);
+            assert!(
+                probes.contains(&bin),
+                "keyed re-insert left the probe set: bin {bin} not in {probes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reinsert_draws_fresh_bins() {
+        // The contrast that motivates keyed mode: under the process model
+        // re-inserts wander over the whole table.
+        let mut s = shard(4);
+        for key in 0..40u64 {
+            s.insert(key);
+        }
+        let key = 11u64;
+        let probes = s.probes_for(key);
+        let mut escaped = false;
+        for _ in 0..30 {
+            s.delete(key).expect("key live");
+            escaped |= !probes.contains(&s.insert(key));
+        }
+        assert!(escaped, "stream mode never left the keyed probe set");
+    }
+
+    #[test]
+    fn rng_kind_selects_the_stream() {
+        let scheme = DoubleHashing::new(64, 3);
+        let xo = Shard::new(0, scheme.clone(), &config(9));
+        let mut pcg_cfg = config(9);
+        pcg_cfg.rng = RngKind::Pcg64;
+        let mut pcg = Shard::new(0, scheme.clone(), &pcg_cfg);
+        let mut xo2 = Shard::new(0, scheme, &config(9));
+        let mut same = true;
+        for key in 0..64u64 {
+            same &= pcg.insert(key) == xo2.insert(key);
+        }
+        assert!(!same, "pcg64 produced xoshiro's placements");
+        assert_eq!(xo.mode(), ChoiceMode::Stream);
     }
 
     #[test]
@@ -221,5 +377,40 @@ mod tests {
             Op::Lookup(7),
         ]);
         assert_eq!(a.allocation().loads(), b.allocation().loads());
+    }
+
+    #[test]
+    fn observations_track_each_op_kind() {
+        let mut s = shard(8);
+        s.apply(&[
+            Op::Insert(1),
+            Op::Insert(1),
+            Op::Insert(2),
+            Op::Lookup(1),
+            Op::Lookup(99),
+            Op::Delete(1),
+        ]);
+        let obs = s.observations();
+        assert_eq!(obs.insert_load.count(), 3);
+        assert_eq!(obs.insert_probe.count(), 3);
+        assert!(obs.insert_probe.max() < 3, "probe index must be < d");
+        assert_eq!(obs.delete_load.count(), 1);
+        assert_eq!(obs.lookup_depth.count(), 2);
+        // Lookup of key 1 saw 2 balls, lookup of 99 saw 0.
+        assert_eq!(obs.lookup_depth.max(), 2);
+        assert_eq!(obs.lookup_depth.percentile(1.0), 0);
+        // Insert landing loads are ≥ 1 by definition.
+        assert!(obs.insert_load.percentile(0.0) >= 1);
+    }
+
+    #[test]
+    fn bins_of_reflects_live_balls() {
+        let mut s = shard(10);
+        assert_eq!(s.bins_of(5), None);
+        let b1 = s.insert(5);
+        let b2 = s.insert(5);
+        assert_eq!(s.bins_of(5), Some(&[b1, b2][..]));
+        s.delete(5);
+        assert_eq!(s.bins_of(5), Some(&[b1][..]));
     }
 }

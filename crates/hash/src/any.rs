@@ -98,6 +98,18 @@ impl ChoiceScheme for AnyScheme {
             Self::OneChoice(s) => s.fill_choices(rng, out),
         }
     }
+
+    #[inline]
+    fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
+        match self {
+            Self::FullyRandom(s) => s.choices_for(key, salt, out),
+            Self::DoubleHashing(s) => s.choices_for(key, salt, out),
+            Self::Blocks(s) => s.choices_for(key, salt, out),
+            Self::DLeftRandom(s) => s.choices_for(key, salt, out),
+            Self::DLeftDouble(s) => s.choices_for(key, salt, out),
+            Self::OneChoice(s) => s.choices_for(key, salt, out),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Double hashing: the paper's subject.
 
-use crate::{validate_params, ChoiceScheme};
+use crate::{keyed_stream, validate_params, ChoiceScheme};
 use ba_numtheory::CoprimeSampler;
 use ba_rng::Rng64;
 
@@ -43,6 +43,20 @@ impl DoubleHashing {
         self.stride.count()
     }
 
+    /// Derives the keyed `(f, g)` pair for `key` under `salt`: both hash
+    /// values come from the deterministic [`keyed_stream`] of `(key,
+    /// salt)`, so the pair — and the probe sequence it expands to — is a
+    /// pure function of the key. This is the production formulation of
+    /// double hashing (two hashes of the key), where the paper's
+    /// simulations draw `f` and `g` from an RNG stream instead.
+    #[inline]
+    pub fn keyed_fg(&self, key: u64, salt: u64) -> (u64, u64) {
+        let mut rng = keyed_stream(key, salt);
+        let f = rng.gen_range(self.n);
+        let g = self.stride.sample(&mut rng);
+        (f, g)
+    }
+
     /// Expands a given `(f, g)` pair into the probe sequence. Exposed so
     /// analysis code (ancestry lists, witness trees) can enumerate the
     /// deterministic part of the scheme separately from the randomness.
@@ -79,6 +93,12 @@ impl ChoiceScheme for DoubleHashing {
     fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
         let f = rng.gen_range(self.n);
         let g = self.stride.sample(rng);
+        self.expand(f, g, out);
+    }
+
+    #[inline]
+    fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
+        let (f, g) = self.keyed_fg(key, salt);
         self.expand(f, g, out);
     }
 }
@@ -180,6 +200,25 @@ mod tests {
                 (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
                 "pair {pair:?}: {c} vs {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn keyed_fg_expands_to_choices_for() {
+        // The override and the default derivation must agree: choices_for
+        // is exactly expand(keyed_fg(key, salt)).
+        for n in [16u64, 97, 360] {
+            let scheme = DoubleHashing::new(n, 3);
+            for key in 0..100u64 {
+                let (f, g) = scheme.keyed_fg(key, 11);
+                assert!(f < n);
+                assert_eq!(gcd(g, n), 1, "stride {g} not coprime to {n}");
+                let mut expanded = [0u64; 3];
+                scheme.expand(f, g, &mut expanded);
+                let mut derived = [0u64; 3];
+                scheme.choices_for(key, 11, &mut derived);
+                assert_eq!(expanded, derived, "n={n} key={key}");
+            }
         }
     }
 

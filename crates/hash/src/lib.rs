@@ -54,7 +54,64 @@ pub use double_hashing::DoubleHashing;
 pub use fully_random::{FullyRandom, OneChoice, Replacement};
 pub use partitioned::Partitioned;
 
-use ba_rng::Rng64;
+use ba_rng::{Rng64, SplitMix64};
+
+/// Domain-separation constant for keyed choice derivation: keeps the
+/// `(key, salt)` hash streams disjoint from [`ba_rng::SeedSequence`]'s
+/// seed-derivation mixes even when keys coincide with trial indices.
+const KEYED_DOMAIN: u64 = 0xD0B1_E4A5_11C3_57ED;
+
+/// The deterministic hash stream that keyed choice derivation draws from:
+/// a [`SplitMix64`] whose start state is a two-round finalizer mix of
+/// `(key, salt)`.
+///
+/// This is what makes [`ChoiceScheme::choices_for`] a *pure* function:
+/// the stream — and therefore the derived `f`/`g` pair and the whole
+/// probe sequence — depends only on the key and the table's salt, never
+/// on how many balls were placed before.
+#[inline]
+pub fn keyed_stream(key: u64, salt: u64) -> SplitMix64 {
+    SplitMix64::new(SplitMix64::mix(key ^ KEYED_DOMAIN).wrapping_add(SplitMix64::mix(salt)))
+}
+
+/// Where a ball's choice vector comes from.
+///
+/// The paper's simulations use the *process model*: every ball draws fresh
+/// choices from an RNG stream, so a deleted-and-re-inserted key gets new
+/// bins. A production hash table uses the *keyed model*: choices are a
+/// function of the key (`f`/`g` derived by hashing it), so re-insertion
+/// replays the exact `f + k·g` probe sequence. This enum names the two so
+/// that the allocation core, trial harness, and serving engine can run
+/// either through one code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChoiceSource {
+    /// Draw fresh choices from the caller's RNG stream (process model).
+    Stream,
+    /// Derive choices from `hash(key, salt)` (hash-table model).
+    Keyed {
+        /// The table-wide salt mixed into every key's derivation.
+        salt: u64,
+    },
+}
+
+impl ChoiceSource {
+    /// Fills `out` with the choices for one ball: from `rng` in stream
+    /// mode, from `(key, salt)` in keyed mode. `rng` is untouched in keyed
+    /// mode, so interleaving the two sources never shifts the stream.
+    #[inline]
+    pub fn fill<S: ChoiceScheme + ?Sized>(
+        &self,
+        scheme: &S,
+        key: u64,
+        rng: &mut dyn Rng64,
+        out: &mut [u64],
+    ) {
+        match *self {
+            ChoiceSource::Stream => scheme.fill_choices(rng, out),
+            ChoiceSource::Keyed { salt } => scheme.choices_for(key, salt, out),
+        }
+    }
+}
 
 /// A generator of `d` bin choices per ball over a table of `n` bins.
 ///
@@ -74,6 +131,29 @@ pub trait ChoiceScheme: Send + Sync {
     ///
     /// Implementations may panic if `out.len() != self.d()`.
     fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]);
+
+    /// Writes the choices for the ball identified by `key` into `out` —
+    /// the keyed form of the scheme.
+    ///
+    /// Unlike [`ChoiceScheme::fill_choices`], this is a **pure function of
+    /// `(key, salt)`**: deriving choices for the same key twice yields the
+    /// identical probe sequence, no matter what was placed in between.
+    /// That replayability is what lets delete→re-insert traffic exercise
+    /// the paper's fixed-probe claim in a real hash table.
+    ///
+    /// The default implementation draws the scheme's usual hash values
+    /// from the deterministic [`keyed_stream`] of `(key, salt)`, so every
+    /// scheme is keyed-capable and statistically identical to its stream
+    /// form; schemes with named hash values (double hashing's `f`/`g`)
+    /// may override it with an explicit derivation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != self.d()`.
+    fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
+        let mut rng = keyed_stream(key, salt);
+        self.fill_choices(&mut rng, out);
+    }
 
     /// Convenience wrapper returning the choices as a fresh vector.
     ///
@@ -95,6 +175,9 @@ impl<S: ChoiceScheme + ?Sized> ChoiceScheme for &S {
     }
     fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
         (**self).fill_choices(rng, out)
+    }
+    fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
+        (**self).choices_for(key, salt, out)
     }
 }
 
@@ -152,6 +235,80 @@ mod tests {
         let mut buf = [0u64; 3];
         scheme.fill_choices(&mut r2, &mut buf);
         assert_eq!(v.as_slice(), &buf);
+    }
+
+    #[test]
+    fn keyed_choices_are_pure_functions_of_key_and_salt() {
+        // The replay contract behind the keyed engine mode: choices_for is
+        // deterministic in (key, salt), sensitive to both, and in range.
+        let n = 64u64;
+        let d = 4usize;
+        for &name in AnyScheme::names() {
+            let d = if name == "one" { 1 } else { d };
+            let scheme = AnyScheme::by_name(name, n, d).unwrap();
+            let mut a = vec![0u64; d];
+            let mut b = vec![0u64; d];
+            for key in 0..200u64 {
+                scheme.choices_for(key, 7, &mut a);
+                scheme.choices_for(key, 7, &mut b);
+                assert_eq!(a, b, "{name}: key {key} did not replay");
+                assert!(a.iter().all(|&c| c < n), "{name}: {a:?}");
+            }
+            scheme.choices_for(3, 7, &mut a);
+            scheme.choices_for(4, 7, &mut b);
+            assert_ne!(a, b, "{name}: distinct keys collided");
+            scheme.choices_for(3, 8, &mut b);
+            assert_ne!(a, b, "{name}: salt ignored");
+        }
+    }
+
+    #[test]
+    fn choice_source_routes_to_stream_or_keyed() {
+        let scheme = DoubleHashing::new(101, 3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut keyed = [0u64; 3];
+        ChoiceSource::Keyed { salt: 9 }.fill(&scheme, 42, &mut rng, &mut keyed);
+        let mut direct = [0u64; 3];
+        scheme.choices_for(42, 9, &mut direct);
+        assert_eq!(keyed, direct);
+        // Keyed fill must not have consumed the stream.
+        let mut fresh = Xoshiro256StarStar::seed_from_u64(2);
+        assert_eq!(rng.next_u64(), fresh.next_u64());
+
+        let mut rng1 = Xoshiro256StarStar::seed_from_u64(3);
+        let mut rng2 = Xoshiro256StarStar::seed_from_u64(3);
+        let mut streamed = [0u64; 3];
+        ChoiceSource::Stream.fill(&scheme, 42, &mut rng1, &mut streamed);
+        let mut reference = [0u64; 3];
+        scheme.fill_choices(&mut rng2, &mut reference);
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn keyed_marginals_are_uniform() {
+        // Keyed derivation must not skew the per-position marginals: over
+        // many keys each bin is hit equally often at every probe position.
+        let n = 8u64;
+        let scheme = DoubleHashing::new(n, 3);
+        let trials = 80_000u64;
+        let mut counts = vec![[0u64; 3]; n as usize];
+        let mut buf = [0u64; 3];
+        for key in 0..trials {
+            scheme.choices_for(key, 123, &mut buf);
+            for (pos, &c) in buf.iter().enumerate() {
+                counts[c as usize][pos] += 1;
+            }
+        }
+        let expect = trials as f64 / n as f64;
+        for (bin, row) in counts.iter().enumerate() {
+            for (pos, &cnt) in row.iter().enumerate() {
+                let c = cnt as f64;
+                assert!(
+                    (c - expect).abs() < 6.0 * expect.sqrt(),
+                    "bin {bin} pos {pos}: {c} vs {expect}"
+                );
+            }
+        }
     }
 
     #[test]

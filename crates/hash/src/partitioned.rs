@@ -56,6 +56,16 @@ impl<S: ChoiceScheme> Partitioned<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// Shifts the k-th choice into subtable k.
+    #[inline]
+    fn offset_into_subtables(&self, out: &mut [u64]) {
+        let mut offset = 0u64;
+        for slot in out.iter_mut() {
+            *slot += offset;
+            offset += self.subtable;
+        }
+    }
 }
 
 impl<S: ChoiceScheme> ChoiceScheme for Partitioned<S> {
@@ -70,11 +80,16 @@ impl<S: ChoiceScheme> ChoiceScheme for Partitioned<S> {
     #[inline]
     fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
         self.inner.fill_choices(rng, out);
-        let mut offset = 0u64;
-        for slot in out.iter_mut() {
-            *slot += offset;
-            offset += self.subtable;
-        }
+        self.offset_into_subtables(out);
+    }
+
+    #[inline]
+    fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
+        // Delegate to the inner scheme's keyed form (which may be an
+        // explicit override, e.g. double hashing's keyed f/g), then lay
+        // the probes out across the subtables as usual.
+        self.inner.choices_for(key, salt, out);
+        self.offset_into_subtables(out);
     }
 }
 

@@ -42,7 +42,7 @@ mod xoshiro;
 pub use distributions::{Bernoulli, Exponential, Geometric, Poisson};
 pub use lcg48::Lcg48;
 pub use pcg::Pcg64;
-pub use seed::{RngKind, SeedSequence};
+pub use seed::{AnyRng, RngKind, SeedSequence};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256StarStar;
 

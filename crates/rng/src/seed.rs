@@ -25,12 +25,20 @@ pub enum RngKind {
 }
 
 impl RngKind {
-    /// Builds a boxed generator of this kind from a seed.
+    /// Builds a boxed generator of this kind from a seed (the same stream
+    /// as [`RngKind::build_any`], boxed for trait-object call sites).
     pub fn build(self, seed: u64) -> Box<dyn Rng64 + Send> {
+        Box::new(self.build_any(seed))
+    }
+
+    /// Builds a concrete [`AnyRng`] of this kind from a seed, for
+    /// long-lived state (engine shards) that wants `Clone + Debug`
+    /// generators without boxing.
+    pub fn build_any(self, seed: u64) -> AnyRng {
         match self {
-            RngKind::Xoshiro => Box::new(Xoshiro256StarStar::seed_from_u64(seed)),
-            RngKind::Pcg64 => Box::new(Pcg64::seed_from_u64(seed)),
-            RngKind::Lcg48 => Box::new(Lcg48::srand48(seed as u32 ^ (seed >> 32) as u32)),
+            RngKind::Xoshiro => AnyRng::Xoshiro(Xoshiro256StarStar::seed_from_u64(seed)),
+            RngKind::Pcg64 => AnyRng::Pcg64(Pcg64::seed_from_u64(seed)),
+            RngKind::Lcg48 => AnyRng::Lcg48(Lcg48::srand48(seed as u32 ^ (seed >> 32) as u32)),
         }
     }
 
@@ -47,6 +55,34 @@ impl RngKind {
     /// The names accepted by [`RngKind::by_name`].
     pub fn names() -> &'static [&'static str] {
         &["xoshiro", "pcg64", "lcg48"]
+    }
+}
+
+/// A runtime-selected generator instance: the concrete counterpart of
+/// [`RngKind::build`]'s boxed form.
+///
+/// Enum dispatch keeps the hot path free of virtual calls and, unlike a
+/// `Box<dyn Rng64>`, the value is `Clone + Debug` — which is what lets an
+/// engine shard (a long-lived, cloneable piece of state) own whichever
+/// generator family its config selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnyRng {
+    /// xoshiro256** (the workspace default).
+    Xoshiro(Xoshiro256StarStar),
+    /// PCG-XSL-RR-128/64.
+    Pcg64(Pcg64),
+    /// The drand48 48-bit LCG.
+    Lcg48(Lcg48),
+}
+
+impl Rng64 for AnyRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self {
+            AnyRng::Xoshiro(rng) => rng.next_u64(),
+            AnyRng::Pcg64(rng) => rng.next_u64(),
+            AnyRng::Lcg48(rng) => rng.next_u64(),
+        }
     }
 }
 
@@ -101,6 +137,12 @@ impl SeedSequence {
     /// Builds a boxed generator of the given kind for this node.
     pub fn rng_of(&self, kind: RngKind) -> Box<dyn Rng64 + Send> {
         kind.build(self.derive_u64())
+    }
+
+    /// Builds a concrete [`AnyRng`] of the given kind for this node
+    /// (the same stream as [`SeedSequence::rng_of`], unboxed).
+    pub fn any_rng(&self, kind: RngKind) -> AnyRng {
+        kind.build_any(self.derive_u64())
     }
 }
 
@@ -162,6 +204,31 @@ mod tests {
         let c = RngKind::Lcg48.build(1).next_u64();
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn any_rng_matches_boxed_build_for_every_kind() {
+        for &name in RngKind::names() {
+            let kind = RngKind::by_name(name).unwrap();
+            let node = SeedSequence::new(21).child(6);
+            let mut boxed = node.rng_of(kind);
+            let mut concrete = node.any_rng(kind);
+            for _ in 0..16 {
+                assert_eq!(boxed.next_u64(), concrete.next_u64(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_rng_xoshiro_matches_dedicated_constructor() {
+        // The engine's determinism contract leans on this: the default
+        // RngKind must reproduce the historical `node.xoshiro()` stream.
+        let node = SeedSequence::new(5).child(2);
+        let mut a = node.any_rng(RngKind::Xoshiro);
+        let mut b = node.xoshiro();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -243,13 +243,22 @@ impl Workload for ChurnWorkload {
 /// re-inserts exactly those keys, maximizing delete/re-insert correlation
 /// on a small working set.
 ///
-/// Note on scope: the engine implements the paper's *process* model —
-/// each insert draws a fresh choice vector from the shard's RNG stream —
-/// so a re-inserted key does **not** replay its previous `f + k·g` probe
-/// sequence here. This scenario therefore stresses correlated
-/// delete/re-insert dynamics (recently vacated bins refilling), not
-/// fixed-probe replay; a keyed hashing mode where choices derive from
-/// the key is a ROADMAP follow-on.
+/// What the attack exercises depends on the engine's
+/// [`ba_engine::ChoiceMode`]:
+///
+/// * under [`ba_engine::ChoiceMode::Keyed`] every re-inserted key replays
+///   its exact `f + k·g` probe sequence (choices are a pure function of
+///   `hash(key, shard_salt)`), so this is the paper's fixed-probe
+///   re-insertion setting — the hardest case for double hashing, since
+///   the adversary revisits the *same* d-bin neighbourhoods forever;
+/// * under [`ba_engine::ChoiceMode::Stream`] (the paper's process model)
+///   each re-insert draws fresh choices, so the scenario stresses
+///   correlated delete/re-insert dynamics instead: recently vacated bins
+///   refilling under churn pressure.
+///
+/// The `tests/engine.rs` and `ba-workload` suites assert the keyed
+/// property end-to-end: after driving this traffic, every live ball sits
+/// inside its key's fixed probe set.
 #[derive(Debug, Clone)]
 pub struct AdversarialWorkload {
     population: u64,

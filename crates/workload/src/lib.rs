@@ -160,7 +160,7 @@ impl DriveReport {
 /// The shared driver: streams `total_ops` operations from `workload` into
 /// `engine` in `batch_size` chunks. Works with any scheme and any
 /// generator — every scenario/scheme pairing goes through this one path.
-pub fn drive<S: ChoiceScheme>(
+pub fn drive<S: ChoiceScheme + 'static>(
     engine: &mut Engine<S>,
     workload: &mut dyn Workload,
     total_ops: u64,
@@ -282,6 +282,148 @@ mod tests {
         assert_eq!(
             report.stats.total_balls(),
             report.summary.inserts - report.summary.deletes
+        );
+    }
+
+    #[test]
+    fn keyed_adversarial_traffic_respects_fixed_probe_sets() {
+        // The fixed-probe re-insertion claim, end to end: after serving
+        // correlated delete/re-insert attack traffic in keyed mode, every
+        // live ball sits in one of its key's d derived probe bins.
+        let mut engine =
+            Engine::by_name("double", EngineConfig::new(4, 1 << 10, 3).seed(77).keyed()).unwrap();
+        let mut workload = Scenario::Adversarial.build(512, 77);
+        let report = drive(&mut engine, workload.as_mut(), 50_000, 1_024);
+        assert_eq!(report.summary.missed_deletes, 0);
+        let mut checked = 0u64;
+        for shard in engine.shards() {
+            for key in 0..512u64 {
+                let Some(bins) = shard.bins_of(key) else {
+                    continue;
+                };
+                let probes = shard.probes_for(key);
+                for &bin in bins {
+                    assert!(
+                        probes.contains(&bin),
+                        "key {key} held in bin {bin} outside its probe set {probes:?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 400, "too few live balls checked ({checked})");
+    }
+
+    #[test]
+    fn stream_adversarial_traffic_wanders_off_probe_sets() {
+        // The contrast that motivates keyed mode: under the process model
+        // re-inserted balls do not stay inside the keyed probe sets.
+        let mut engine =
+            Engine::by_name("double", EngineConfig::new(4, 1 << 10, 3).seed(77)).unwrap();
+        let mut workload = Scenario::Adversarial.build(512, 77);
+        drive(&mut engine, workload.as_mut(), 50_000, 1_024);
+        let mut outside = 0u64;
+        for shard in engine.shards() {
+            for key in 0..512u64 {
+                let Some(bins) = shard.bins_of(key) else {
+                    continue;
+                };
+                let probes = shard.probes_for(key);
+                outside += bins.iter().filter(|b| !probes.contains(b)).count() as u64;
+            }
+        }
+        assert!(outside > 0, "stream mode stayed inside keyed probe sets");
+    }
+
+    #[test]
+    fn keyed_and_stream_scenarios_share_load_statistics() {
+        // The paper's indistinguishability claim across choice sources at
+        // the serving layer, for traffic that inserts each key once:
+        // fresh-key churn and uniform draws over a keyspace much larger
+        // than the op count. (Repeat-key traffic — Zipf hot keys,
+        // adversarial re-insertion — is *supposed* to differ across the
+        // models; the companion tests assert how.)
+        for scenario in [
+            Scenario::Uniform,
+            Scenario::Churn {
+                delete_fraction: 0.5,
+            },
+        ] {
+            let keyspace = match scenario {
+                Scenario::Uniform => 1u64 << 24,
+                _ => 4_096,
+            };
+            let run = |config: EngineConfig| {
+                run_scenario("double", &scenario, config, keyspace, 60_000, 1_024).unwrap()
+            };
+            let stream = run(EngineConfig::new(4, 1 << 10, 3).seed(5));
+            let keyed = run(EngineConfig::new(4, 1 << 10, 3).seed(5).keyed());
+            assert_eq!(stream.summary, keyed.summary, "{}", scenario.name());
+            let (hs, hk) = (
+                stream.stats.merged_histogram(),
+                keyed.stats.merged_histogram(),
+            );
+            for load in 0..3usize {
+                let (a, b) = (hs.fraction(load), hk.fraction(load));
+                assert!(
+                    (a - b).abs() < 0.05,
+                    "{}: load {load} stream {a} vs keyed {b}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_mode_concentrates_repeated_hot_keys() {
+        // The flip side of replayability: a key inserted k times in keyed
+        // mode lands all k balls inside its fixed d-bin probe set, so
+        // hot-key (Zipf) traffic concentrates — stream mode spreads the
+        // same inserts over the whole table. This is the defining
+        // behavioural difference between the two models, asserted rather
+        // than papered over.
+        let run = |config: EngineConfig| {
+            run_scenario(
+                "double",
+                &Scenario::Zipf { theta: 0.9 },
+                config,
+                4_096,
+                60_000,
+                1_024,
+            )
+            .unwrap()
+        };
+        let stream = run(EngineConfig::new(4, 1 << 10, 3).seed(5));
+        let keyed = run(EngineConfig::new(4, 1 << 10, 3).seed(5).keyed());
+        assert_eq!(stream.summary, keyed.summary);
+        assert!(
+            keyed.stats.max_load() > stream.stats.max_load(),
+            "hot keys should pile up under keyed replay: keyed {} vs stream {}",
+            keyed.stats.max_load(),
+            stream.stats.max_load()
+        );
+    }
+
+    #[test]
+    fn keyed_adversarial_max_load_stays_bounded() {
+        // Fixed-probe re-insertion is the attack the keyed mode exists to
+        // study: even when the adversary replays the same probe sequences
+        // forever, each key holds one ball, so the max load must stay at
+        // two-choice scale rather than blowing up.
+        let report = run_scenario(
+            "double",
+            &Scenario::Adversarial,
+            EngineConfig::new(4, 1 << 10, 3).seed(41).keyed(),
+            1 << 10,
+            200_000,
+            2_048,
+        )
+        .unwrap();
+        assert_eq!(report.summary.missed_deletes, 0);
+        assert!(
+            report.stats.max_load() <= 6,
+            "fixed-probe attack blew up max load: {}",
+            report.stats.max_load()
         );
     }
 

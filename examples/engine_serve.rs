@@ -2,25 +2,30 @@
 //!
 //! Builds a 4-shard engine for a chosen scheme, streams every workload
 //! scenario through it (uniform, Zipf, bursty, churn, adversarial), and
-//! prints the per-shard load tables plus serve rates. The punchline is the
-//! paper's, at serving scale: double hashing's max loads match fully
-//! random hashing under every traffic shape.
+//! prints the per-shard load tables, per-op-kind percentiles, and serve
+//! rates. The punchline is the paper's, at serving scale: double hashing's
+//! max loads match fully random hashing under every traffic shape — in
+//! both choice modes.
 //!
 //! ```text
-//! cargo run --release --example engine_serve [scheme] [shards] [ops]
+//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream]
 //! # scheme: random | double | blocks | one | ... (default: compares random vs double)
+//! # keyed: derive choices from hash(key, shard_salt) so re-inserts replay
+//! #        their f + k·g probe sequences (default: stream)
 //! ```
 
 use balanced_allocations::prelude::*;
 
-fn serve_suite(scheme: &str, shards: usize, total_ops: u64) {
+fn serve_suite(scheme: &str, shards: usize, total_ops: u64, mode: ChoiceMode) {
     let bins_per_shard = 1u64 << 12;
     let keyspace = bins_per_shard * shards as u64;
     println!(
-        "== scheme `{scheme}`: {shards} shards x {bins_per_shard} bins, d = 3, {total_ops} ops/scenario ==\n"
+        "== scheme `{scheme}` ({mode:?} choices): {shards} shards x {bins_per_shard} bins, d = 3, {total_ops} ops/scenario ==\n"
     );
     for scenario in Scenario::all() {
-        let config = EngineConfig::new(shards, bins_per_shard, 3).seed(2014);
+        let config = EngineConfig::new(shards, bins_per_shard, 3)
+            .seed(2014)
+            .mode(mode);
         let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, 4096)
             .expect("scheme validated in main");
         println!(
@@ -33,7 +38,18 @@ fn serve_suite(scheme: &str, shards: usize, total_ops: u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // A trailing `keyed`/`stream` selects the choice mode.
+    let mode = match args.iter().position(|a| a == "keyed" || a == "stream") {
+        Some(idx) => {
+            if args.remove(idx) == "keyed" {
+                ChoiceMode::Keyed
+            } else {
+                ChoiceMode::Stream
+            }
+        }
+        None => ChoiceMode::Stream,
+    };
     // A numeric first argument means the scheme was omitted: keep the
     // default two-scheme comparison and read [shards] [ops] from there.
     let (schemes, rest): (Vec<String>, &[String]) = match args.first() {
@@ -52,6 +68,6 @@ fn main() {
     let shards: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let total_ops: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
     for scheme in &schemes {
-        serve_suite(scheme, shards, total_ops);
+        serve_suite(scheme, shards, total_ops, mode);
     }
 }

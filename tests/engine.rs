@@ -1,13 +1,15 @@
 //! Cross-layer integration tests for the sharded engine + workload suite.
 //!
 //! These run through the public facade and check the properties the
-//! subsystem exists for: parallel serving changes nothing, per-shard state
-//! is exactly `ba_core`'s single-threaded state, and the paper's claim —
-//! double hashing loses nothing against fully random hashing — survives
-//! every production-shaped traffic scenario.
+//! subsystem exists for: persistent-worker serving changes nothing,
+//! per-shard state is exactly `ba_core`'s single-threaded state in both
+//! choice modes, keyed delete→re-insert replays its probe sequence for
+//! every scheme, and the paper's claim — double hashing loses nothing
+//! against fully random hashing — survives every production-shaped
+//! traffic scenario.
 
-use balanced_allocations::core::{run_churn_process, run_process, TieBreak};
-use balanced_allocations::engine::route;
+use balanced_allocations::core::{run_churn_process, run_process, run_process_keys, TieBreak};
+use balanced_allocations::engine::{route, Shard};
 use balanced_allocations::prelude::*;
 
 fn config(shards: usize, bins: u64, d: usize, seed: u64) -> EngineConfig {
@@ -15,40 +17,138 @@ fn config(shards: usize, bins: u64, d: usize, seed: u64) -> EngineConfig {
 }
 
 #[test]
-fn parallel_engine_equals_sequential_engine_under_every_scenario() {
-    for scenario in Scenario::all() {
-        let keyspace = 2_048u64;
-        let par = run_scenario(
-            "double",
-            &scenario,
-            config(8, 512, 3, 11),
-            keyspace,
-            30_000,
-            1_024,
-        )
-        .unwrap();
-        let seq = run_scenario(
-            "double",
-            &scenario,
-            config(8, 512, 3, 11).sequential(),
-            keyspace,
-            30_000,
-            1_024,
-        )
-        .unwrap();
-        assert_eq!(par.summary, seq.summary, "{}", scenario.name());
-        assert_eq!(
-            par.stats.max_loads(),
-            seq.stats.max_loads(),
-            "{}",
-            scenario.name()
-        );
-        assert_eq!(
-            par.stats.merged_histogram().counts(),
-            seq.stats.merged_histogram().counts(),
-            "{}",
-            scenario.name()
-        );
+fn persistent_engine_equals_sequential_engine_for_every_shard_count_and_scenario() {
+    // Satellite acceptance: the persistent-worker engine is bit-identical
+    // to the sequential path for shards ∈ {1, 2, 8} across all workload
+    // scenarios, in both choice modes.
+    for shards in [1usize, 2, 8] {
+        for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+            for scenario in Scenario::all() {
+                let keyspace = 2_048u64;
+                let par = run_scenario(
+                    "double",
+                    &scenario,
+                    config(shards, 512, 3, 11).mode(mode),
+                    keyspace,
+                    30_000,
+                    1_024,
+                )
+                .unwrap();
+                let seq = run_scenario(
+                    "double",
+                    &scenario,
+                    config(shards, 512, 3, 11).mode(mode).sequential(),
+                    keyspace,
+                    30_000,
+                    1_024,
+                )
+                .unwrap();
+                let tag = format!("{}/{shards} shards/{mode:?}", scenario.name());
+                assert_eq!(par.summary, seq.summary, "{tag}");
+                assert_eq!(par.stats.max_loads(), seq.stats.max_loads(), "{tag}");
+                assert_eq!(
+                    par.stats.merged_histogram().counts(),
+                    seq.stats.merged_histogram().counts(),
+                    "{tag}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scoped_spawn_baseline_still_matches_persistent_workers() {
+    // The pre-pool execution strategy is kept for benchmarking; it must
+    // stay on the same determinism contract.
+    let ops: Vec<Op> = (0..20_000u64)
+        .map(|i| match i % 4 {
+            0..=1 => Op::Insert(i / 2),
+            2 => Op::Lookup(i / 3),
+            _ => Op::Delete(i / 2),
+        })
+        .collect();
+    let mut scoped =
+        Engine::by_name("double", config(8, 512, 3, 3).workers(WorkerMode::Scoped)).unwrap();
+    let mut persistent = Engine::by_name(
+        "double",
+        config(8, 512, 3, 3).workers(WorkerMode::Persistent),
+    )
+    .unwrap();
+    assert_eq!(scoped.serve(&ops, 777), persistent.serve(&ops, 777));
+    for (a, b) in scoped.shards().iter().zip(persistent.shards()) {
+        assert_eq!(a.allocation().loads(), b.allocation().loads());
+    }
+}
+
+#[test]
+fn keyed_delete_reinsert_replays_probe_sequence_for_every_scheme() {
+    // Satellite acceptance: in keyed mode, deleting and re-inserting a
+    // key lands it via the same derived probe sequence — for every scheme
+    // the workspace ships.
+    for &name in AnyScheme::names() {
+        let d = if name == "one" { 1 } else { 4 };
+        let n = 64u64;
+        let cfg = config(1, n, d, 9).keyed();
+        let scheme = AnyScheme::by_name(name, n, d).unwrap();
+        let mut shard = Shard::new(0, scheme, &cfg);
+        for key in 0..48u64 {
+            shard.insert(key);
+        }
+        for key in [3u64, 17, 40] {
+            let probes = shard.probes_for(key);
+            for cycle in 0..25 {
+                shard.delete(key).expect("key live");
+                let bin = shard.insert(key);
+                assert!(
+                    probes.contains(&bin),
+                    "{name}: cycle {cycle} re-inserted key {key} into bin {bin} \
+                     outside its probe sequence {probes:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_and_keyed_modes_agree_with_core_on_insert_only_traffic() {
+    // Satellite acceptance: insert-only traffic through the engine equals
+    // ba_core's single-threaded process in the matching mode — stream
+    // against run_process, keyed against run_process_keys.
+    let shards = 4usize;
+    let bins = 256u64;
+    let seed = 23u64;
+    let ops: Vec<Op> = (0..2_048u64).map(Op::Insert).collect();
+    for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+        let mut engine =
+            Engine::by_name("double", config(shards, bins, 3, seed).mode(mode)).unwrap();
+        engine.serve(&ops, 256);
+        for id in 0..shards {
+            let keys: Vec<u64> = ops
+                .iter()
+                .map(|op| op.key())
+                .filter(|&k| route(k, shards) == id)
+                .collect();
+            let scheme = DoubleHashing::new(bins, 3);
+            let mut rng = SeedSequence::new(seed).child(id as u64).xoshiro();
+            let shard = engine.shard(id);
+            let reference = match mode {
+                ChoiceMode::Stream => {
+                    run_process(&scheme, keys.len() as u64, TieBreak::Random, &mut rng)
+                }
+                ChoiceMode::Keyed => run_process_keys(
+                    &scheme,
+                    ChoiceSource::Keyed { salt: shard.salt() },
+                    keys.iter().copied(),
+                    TieBreak::Random,
+                    &mut rng,
+                ),
+            };
+            assert_eq!(
+                shard.allocation().loads(),
+                reference.loads(),
+                "{mode:?} shard {id}"
+            );
+        }
     }
 }
 
@@ -134,24 +234,76 @@ fn double_hashing_loses_nothing_under_served_churn() {
 
 #[test]
 fn adversarial_reinsertion_does_not_break_double_hashing() {
-    // Correlated delete/re-insert traffic on a small working set (the
-    // engine's process model draws fresh choices per insert, so this is
-    // churn pressure, not fixed-probe replay — see AdversarialWorkload
-    // docs); max load must stay at two-choice scale.
+    // Correlated delete/re-insert traffic on a small working set, in both
+    // choice modes: stream mode stresses churn pressure (recently vacated
+    // bins refilling), keyed mode is the paper's fixed-probe re-insertion
+    // setting (every re-insert replays its f + k·g sequence). Max load
+    // must stay at two-choice scale either way.
+    for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+        let report = run_scenario(
+            "double",
+            &Scenario::Adversarial,
+            config(4, 1 << 10, 3, 41).mode(mode),
+            1 << 10,
+            200_000,
+            2_048,
+        )
+        .unwrap();
+        assert!(
+            report.stats.max_load() <= 6,
+            "{mode:?} adversarial traffic blew up max load: {}",
+            report.stats.max_load()
+        );
+    }
+}
+
+#[test]
+fn engine_runs_the_prng_ablation() {
+    // RngKind flows through EngineConfig: the engine serves the paper's
+    // generator ablation like the trial harness does, each family staying
+    // deterministic and at two-choice max loads.
+    let ops: Vec<Op> = (0..8_192u64).map(Op::Insert).collect();
+    let mut tables = Vec::new();
+    for &name in RngKind::names() {
+        let kind = RngKind::by_name(name).unwrap();
+        let run = |seed: u64| {
+            let mut engine =
+                Engine::by_name("double", config(4, 1 << 10, 3, seed).rng(kind)).unwrap();
+            engine.serve(&ops, 1_024);
+            engine.stats().merged_histogram().counts().to_vec()
+        };
+        let a = run(19);
+        assert_eq!(a, run(19), "{name} must be reproducible");
+        assert_ne!(a, run(20), "{name} must respond to the seed");
+        tables.push(a);
+    }
+    assert!(
+        tables.windows(2).any(|w| w[0] != w[1]),
+        "all PRNG families produced identical tables"
+    );
+}
+
+#[test]
+fn engine_stats_expose_op_percentiles() {
     let report = run_scenario(
         "double",
-        &Scenario::Adversarial,
-        config(4, 1 << 10, 3, 41),
-        1 << 10,
-        200_000,
-        2_048,
+        &Scenario::Churn {
+            delete_fraction: 0.5,
+        },
+        config(4, 512, 3, 13),
+        1_024,
+        30_000,
+        1_024,
     )
     .unwrap();
-    assert!(
-        report.stats.max_load() <= 6,
-        "adversarial traffic blew up max load: {}",
-        report.stats.max_load()
-    );
+    let observed = report.stats.merged_observations();
+    assert_eq!(observed.insert_load.count(), report.summary.inserts);
+    assert_eq!(observed.delete_load.count(), report.summary.deletes);
+    // Inserts land at depth >= 1; the winning probe index is within d.
+    assert!(observed.insert_load.percentile(50.0) >= 1);
+    assert!(observed.insert_probe.max() < 3);
+    let rendered = report.stats.render();
+    assert!(rendered.contains("insert landing load"), "{rendered}");
 }
 
 #[test]
