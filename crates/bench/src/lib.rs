@@ -22,6 +22,7 @@ pub mod ablations;
 pub mod engine;
 pub mod extensions;
 pub mod opts;
+pub mod replay;
 pub mod tables;
 pub mod theory;
 
@@ -55,6 +56,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablate_prng", ablations::prng),
     ("churn", ablations::churn),
     ("engine", engine::engine),
+    ("replay", replay::replay),
 ];
 
 /// Looks up an experiment by name.

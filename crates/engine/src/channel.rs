@@ -216,6 +216,87 @@ mod tests {
     }
 
     #[test]
+    fn producer_panic_surfaces_as_disconnect_not_deadlock() {
+        // The worker-panic propagation path: a producer thread that dies
+        // mid-stream drops its Sender during unwinding, so a blocked
+        // receiver wakes with RecvError after draining what was sent —
+        // it must never block forever.
+        let (tx, rx) = channel::<u64>();
+        let producer = std::thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            panic!("worker dies mid-stream");
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        // The disconnect is observable exactly once the panic completes.
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert!(producer.join().is_err(), "panic must propagate to join");
+    }
+
+    #[test]
+    fn send_after_close_keeps_failing_and_returns_each_value() {
+        // Send-after-close is non-fatal and lossless for the caller: every
+        // attempt hands its exact value back, including via clones made
+        // after the receiver died.
+        let (tx, rx) = channel::<Vec<u64>>();
+        drop(rx);
+        for round in 0..3u64 {
+            let payload = vec![round, round + 1];
+            let SendError(returned) = tx.send(payload.clone()).unwrap_err();
+            assert_eq!(returned, payload);
+        }
+        let late_clone = tx.clone();
+        assert_eq!(late_clone.send(vec![99]).unwrap_err().0, vec![99]);
+    }
+
+    #[test]
+    fn receiver_drop_mid_stream_leaves_producers_joinable() {
+        // Drop-side graceful join: producers racing a dying receiver must
+        // run to completion (send just starts failing), never hang.
+        let (tx, rx) = channel::<u64>();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rejected = 0u64;
+                for i in 0..1_000 {
+                    if tx.send(t * 1_000 + i).is_err() {
+                        rejected += 1;
+                    }
+                }
+                rejected
+            }));
+        }
+        drop(tx);
+        // Consume a few values, then walk away mid-stream.
+        let _ = rx.recv();
+        let _ = rx.recv();
+        drop(rx);
+        for h in handles {
+            // No deadlock and no panic; late sends were merely rejected.
+            let _ = h.join().expect("producer must join cleanly");
+        }
+    }
+
+    #[test]
+    fn queued_values_still_drain_after_receiver_learns_of_disconnect() {
+        // Disconnect is edge-ordered after delivery: values enqueued
+        // before the last sender drops are never lost.
+        let (tx, rx) = channel::<u64>();
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..50 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.recv(), Err(RecvError));
+        // And the error is sticky.
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
     fn many_producers_one_consumer() {
         let (tx, rx) = channel::<u64>();
         let mut handles = Vec::new();

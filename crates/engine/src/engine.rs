@@ -383,6 +383,37 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         total
     }
 
+    /// Serves an op *stream* in `batch_size` chunks without materializing
+    /// it: the replay ingestion path. Captured workloads (see
+    /// `ba-workload`'s replay module) can hold millions of ops; this
+    /// buffers one batch at a time, so replaying a capture costs the same
+    /// memory as serving live traffic. Equivalent to collecting the
+    /// iterator and calling [`Engine::serve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn serve_replay(
+        &mut self,
+        ops: impl IntoIterator<Item = Op>,
+        batch_size: usize,
+    ) -> BatchSummary {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut total = BatchSummary::default();
+        let mut buf = Vec::with_capacity(batch_size);
+        for op in ops {
+            buf.push(op);
+            if buf.len() == batch_size {
+                total.absorb(&self.apply_batch(&buf));
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            total.absorb(&self.apply_batch(&buf));
+        }
+        total
+    }
+
     /// Snapshot of per-shard and aggregate load/traffic statistics.
     pub fn stats(&self) -> EngineStats {
         EngineStats::new(
@@ -485,6 +516,39 @@ mod tests {
         for (a, b) in par.shards().iter().zip(seq.shards()) {
             assert_eq!(a.allocation().loads(), b.allocation().loads());
         }
+    }
+
+    #[test]
+    fn serve_replay_equals_serve() {
+        // The replay ingestion path is the slice path, minus the slice:
+        // identical summaries and shard states, batch boundaries included.
+        let ops = mixed_ops(7_777);
+        for workers in [WorkerMode::Sequential, WorkerMode::Persistent] {
+            let mut live = engine(4, workers);
+            let mut replayed = engine(4, workers);
+            let a = live.serve(&ops, 512);
+            let b = replayed.serve_replay(ops.iter().copied(), 512);
+            assert_eq!(a, b, "{workers:?}");
+            for (x, y) in live.shards().iter().zip(replayed.shards()) {
+                assert_eq!(
+                    x.allocation().loads(),
+                    y.allocation().loads(),
+                    "{workers:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_replay_handles_empty_and_partial_batches() {
+        let mut eng = engine(2, WorkerMode::Sequential);
+        assert_eq!(
+            eng.serve_replay(std::iter::empty(), 64),
+            BatchSummary::default()
+        );
+        let summary = eng.serve_replay((0..100u64).map(Op::Insert), 64);
+        assert_eq!(summary.inserts, 100);
+        assert_eq!(eng.total_balls(), 100);
     }
 
     #[test]

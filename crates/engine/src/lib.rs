@@ -30,6 +30,11 @@
 //!   fanned out to one long-lived worker thread per shard over in-repo
 //!   MPSC channels ([`WorkerMode::Persistent`]), avoiding a thread spawn
 //!   per batch; workers join gracefully when the engine drops.
+//! * **Replay** — [`Engine::serve_replay`] ingests an op *iterator* in
+//!   batch-sized chunks, so captured workload files (the `ba-workload`
+//!   replay module's `.baops` format) replay at live-serving memory cost,
+//!   and [`EngineStats::divergences`] diffs two stats snapshots field by
+//!   field for differential runs.
 //! * **Metrics** — [`EngineStats`] snapshots per-shard load histograms
 //!   (via [`ba_stats::LoadHistogram`]), max loads, traffic counters, and
 //!   online per-op-kind load/probe percentiles

@@ -253,6 +253,61 @@ impl EngineStats {
         LoadHistogram::from_counts(counts)
     }
 
+    /// Field-by-field comparison against another snapshot, for replay and
+    /// cross-version differential runs: returns one human-readable line
+    /// per mismatch (shard count, per-shard bins/balls/max load, load
+    /// histograms, lifetime traffic, per-op observations). Empty means the
+    /// snapshots are bit-identical.
+    pub fn divergences(&self, other: &EngineStats) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.shards.len() != other.shards.len() {
+            out.push(format!(
+                "shard count differs: {} vs {}",
+                self.shards.len(),
+                other.shards.len()
+            ));
+            return out;
+        }
+        for (a, b) in self.shards.iter().zip(&other.shards) {
+            let id = a.shard;
+            if a.shard != b.shard {
+                out.push(format!("shard ids differ: {} vs {}", a.shard, b.shard));
+                continue;
+            }
+            if a.bins != b.bins {
+                out.push(format!("shard {id}: bins {} vs {}", a.bins, b.bins));
+            }
+            if a.balls != b.balls {
+                out.push(format!("shard {id}: balls {} vs {}", a.balls, b.balls));
+            }
+            if a.max_load != b.max_load {
+                out.push(format!(
+                    "shard {id}: max load {} vs {}",
+                    a.max_load, b.max_load
+                ));
+            }
+            if a.histogram.counts() != b.histogram.counts() {
+                out.push(format!("shard {id}: load histograms differ"));
+            }
+            if a.traffic != b.traffic {
+                out.push(format!(
+                    "shard {id}: traffic {:?} vs {:?}",
+                    a.traffic, b.traffic
+                ));
+            }
+            if a.observed != b.observed {
+                out.push(format!("shard {id}: per-op observations differ"));
+            }
+        }
+        out
+    }
+
+    /// Whether this snapshot is bit-identical to `other`
+    /// (see [`EngineStats::divergences`]).
+    pub fn matches(&self, other: &EngineStats) -> bool {
+        self.divergences(other).is_empty()
+    }
+
     /// Renders a per-shard table plus aggregate lines, for operator eyes.
     pub fn render(&self) -> String {
         let mut table = Table::new(&[
@@ -292,7 +347,11 @@ impl EngineStats {
             ("delete vacated load", &observed.delete_load),
             ("lookup depth", &observed.lookup_depth),
         ] {
+            // An op kind the run never exercised (e.g. lookups in a
+            // lookup-free scenario) renders as `-`, not as a degenerate
+            // zero that reads like a measured value.
             if tracker.count() == 0 {
+                out.push_str(&format!("{label}: mean - p50 - p99 - max - (0 obs)\n"));
                 continue;
             }
             out.push_str(&format!(
@@ -445,7 +504,61 @@ mod tests {
         let text = stats().render();
         assert!(text.contains("insert landing load"), "{text}");
         assert!(text.contains("p99"), "{text}");
-        // No deletes/lookups recorded: those lines are omitted.
-        assert!(!text.contains("delete vacated load"), "{text}");
+    }
+
+    #[test]
+    fn empty_observation_sets_render_dashes() {
+        // A lookup-free (and delete-free) run: the unexercised op kinds
+        // must render `-` placeholders, not degenerate zeros.
+        let text = stats().render();
+        assert!(
+            text.contains("delete vacated load: mean - p50 - p99 - max - (0 obs)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lookup depth: mean - p50 - p99 - max - (0 obs)"),
+            "{text}"
+        );
+        // The exercised kind still renders real numbers.
+        assert!(!text.contains("insert landing load: mean -"), "{text}");
+    }
+
+    #[test]
+    fn identical_snapshots_have_no_divergences() {
+        let a = stats();
+        let b = stats();
+        assert!(a.matches(&b), "{:?}", a.divergences(&b));
+        assert!(a.divergences(&b).is_empty());
+    }
+
+    #[test]
+    fn divergences_name_the_differing_fields() {
+        let a = stats();
+        let mut b = stats();
+        b.shards[1].traffic.lookups += 1;
+        b.shards[1].observed.insert_load.record(9);
+        let diffs = a.divergences(&b);
+        assert!(!a.matches(&b));
+        assert!(
+            diffs.iter().any(|d| d.starts_with("shard 1: traffic")),
+            "{diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("per-op observations")),
+            "{diffs:?}"
+        );
+        assert!(
+            diffs.iter().all(|d| !d.starts_with("shard 0")),
+            "shard 0 is identical: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn shard_count_mismatch_short_circuits() {
+        let a = stats();
+        let b = EngineStats::new(Vec::new());
+        let diffs = a.divergences(&b);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("shard count"), "{diffs:?}");
     }
 }

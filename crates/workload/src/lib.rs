@@ -15,6 +15,11 @@
 //! * [`AdversarialWorkload`] — correlated delete/re-insert attack traffic
 //!   on a small working set of recently deleted keys.
 //!
+//! Any scenario's stream can also be captured once into a versioned
+//! `.baops` file and replayed byte-identically later — across schemes,
+//! choice/worker modes, and code versions: see the [`replay`] module
+//! ([`ReplayFile`], [`ReplayWorkload`], [`differential_replay`]).
+//!
 //! # Example
 //!
 //! ```
@@ -38,10 +43,15 @@
 #![warn(missing_docs)]
 
 mod generators;
+pub mod replay;
 mod zipf;
 
 pub use generators::{
     AdversarialWorkload, BurstyWorkload, ChurnWorkload, UniformWorkload, Workload, ZipfWorkload,
+};
+pub use replay::{
+    differential_replay, golden_capture, run_replay, DifferentialOutcome, ReplayError, ReplayFile,
+    ReplayHeader, ReplayRun, ReplayWorkload,
 };
 pub use zipf::Zipf;
 

@@ -1,0 +1,98 @@
+//! Property-based tests for the `.baops` replay codec.
+//!
+//! The codec's contract: encode→decode is the identity for *arbitrary* op
+//! streams, and every malformed input — truncation at any byte, any single
+//! bit flip, any foreign format version — is rejected with a typed
+//! [`ReplayError`], never a panic.
+
+use ba_engine::Op;
+use ba_workload::{ReplayError, ReplayFile};
+use proptest::prelude::*;
+
+fn to_ops(raw: &[(u8, u64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(tag, key)| match tag {
+            0 => Op::Insert(key),
+            1 => Op::Delete(key),
+            _ => Op::Lookup(key),
+        })
+        .collect()
+}
+
+fn encoded(raw: &[(u8, u64)], seed: u64, keyspace: u64) -> Vec<u8> {
+    ReplayFile::from_ops("uniform", seed, keyspace, to_ops(raw)).encode()
+}
+
+proptest! {
+    /// encode→decode is the identity: header and op stream both survive.
+    #[test]
+    fn round_trip_is_identity(
+        raw in proptest::collection::vec((0u8..3, any::<u64>()), 0..300),
+        seed in any::<u64>(),
+        keyspace in 1u64..u64::MAX,
+    ) {
+        let ops = to_ops(&raw);
+        let file = ReplayFile::from_ops("zipf", seed, keyspace, ops.clone());
+        let decoded = ReplayFile::decode(&file.encode()).expect("fresh encode must decode");
+        prop_assert_eq!(decoded.ops(), &ops[..]);
+        prop_assert_eq!(decoded.header(), file.header());
+        // Encoding is canonical: re-encoding the decoded file is stable.
+        prop_assert_eq!(decoded.encode(), file.encode());
+    }
+
+    /// Any strict prefix of a valid file is rejected — with an error, not
+    /// a panic, no matter where the cut lands (mid-magic, mid-varint,
+    /// mid-checksum).
+    #[test]
+    fn truncated_files_rejected(
+        raw in proptest::collection::vec((0u8..3, any::<u64>()), 0..100),
+        cut in any::<u64>(),
+    ) {
+        let bytes = encoded(&raw, 1, 64);
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(ReplayFile::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Any single bit flip anywhere in the file is rejected: the trailing
+    /// FNV-1a checksum covers every byte before it, and a flip inside the
+    /// stored checksum itself mismatches the (unchanged) contents.
+    #[test]
+    fn single_bit_flips_rejected(
+        raw in proptest::collection::vec((0u8..3, any::<u64>()), 0..100),
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encoded(&raw, 9, 1 << 20);
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1u8 << bit;
+        prop_assert!(ReplayFile::decode(&bytes).is_err());
+    }
+
+    /// A file stamped with any foreign version number reports exactly
+    /// `UnsupportedVersion(v)` — version negotiation happens before the
+    /// checksum gate, so future tools get a useful error.
+    #[test]
+    fn wrong_version_rejected_with_typed_error(
+        raw in proptest::collection::vec((0u8..3, any::<u64>()), 0..50),
+        version in any::<u16>(),
+    ) {
+        prop_assume!(version != 1);
+        let mut bytes = encoded(&raw, 3, 128);
+        bytes[5..7].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            ReplayFile::decode(&bytes),
+            Err(ReplayError::UnsupportedVersion(v)) if v == version
+        ));
+    }
+
+    /// Garbage that does not even start with the magic is BadMagic (when
+    /// long enough to tell) or Truncated — never accepted, never a panic.
+    #[test]
+    fn arbitrary_garbage_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // A uniformly random 5-byte magic + matching trailing checksum is
+        // a ~2^-104 event; treat any Ok as a genuine failure.
+        if !bytes.starts_with(b"BAOPS") {
+            prop_assert!(ReplayFile::decode(&bytes).is_err());
+        }
+    }
+}

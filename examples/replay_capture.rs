@@ -1,0 +1,236 @@
+//! Capture workload op streams to `.baops` files and replay them.
+//!
+//! A capture freezes a scenario's exact operation sequence, so the same
+//! traffic can be served later — against a different scheme, choice mode,
+//! worker mode, or a future version of this codebase — and the results
+//! diffed bit-for-bit.
+//!
+//! ```text
+//! cargo run --release --example replay_capture -- capture <scenario> <path> [ops] [keyspace] [seed]
+//! cargo run --release --example replay_capture -- replay <path> [scheme] [keyed|stream]
+//! cargo run --release --example replay_capture -- diff <path>
+//! cargo run --release --example replay_capture -- golden <dir>
+//! cargo run --release --example replay_capture -- smoke
+//! ```
+//!
+//! * `capture` pulls ops from a scenario generator into a `.baops` file;
+//! * `replay` serves a capture through a 4-shard engine and prints stats;
+//! * `diff` serves a capture across every scheme × choice mode × worker
+//!   mode and reports divergences (exit 1 if worker modes disagree);
+//! * `golden` regenerates the pinned golden corpus into a directory (CI
+//!   diffs the result against `tests/golden/`);
+//! * `smoke` captures, saves, reopens, replays, and diffs every scenario
+//!   end-to-end in a temp directory (exit 1 on any failure).
+
+use balanced_allocations::prelude::*;
+use balanced_allocations::workload::replay::{golden_capture, GOLDEN_SEED};
+use std::path::Path;
+use std::process::ExitCode;
+
+const DIFF_SCHEMES: &[&str] = &["random", "double", "one"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  replay_capture capture <scenario> <path> [ops] [keyspace] [seed]\n  \
+         replay_capture replay <path> [scheme] [keyed|stream]\n  \
+         replay_capture diff <path>\n  \
+         replay_capture golden <dir>\n  \
+         replay_capture smoke\n\nscenarios: {}",
+        Scenario::names().join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn open_or_die(path: &str) -> Result<ReplayFile, ExitCode> {
+    ReplayFile::open(path).map_err(|e| {
+        eprintln!("cannot open `{path}`: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn capture_cmd(args: &[String]) -> ExitCode {
+    let (Some(name), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(scenario) = Scenario::by_name(name) else {
+        eprintln!(
+            "unknown scenario `{name}`; expected one of: {}",
+            Scenario::names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let keyspace: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1 << 14);
+    let seed: u64 = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(GOLDEN_SEED);
+    let file = ReplayFile::capture(&scenario, keyspace, seed, ops);
+    let bytes = file.encode();
+    if let Err(e) = std::fs::write(path, &bytes) {
+        eprintln!("cannot write `{path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "captured {ops} `{name}` ops (keyspace {keyspace}, seed {seed}) -> {path} \
+         ({} bytes, {:.2} bytes/op)",
+        bytes.len(),
+        bytes.len() as f64 / ops as f64
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let file = match open_or_die(path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let scheme = args.get(1).map(String::as_str).unwrap_or("double");
+    let mode = if args.iter().any(|a| a == "keyed") {
+        ChoiceMode::Keyed
+    } else {
+        ChoiceMode::Stream
+    };
+    let header = file.header().clone();
+    println!(
+        "replaying `{}` capture: {} ops, keyspace {}, captured at seed {} (format v{})",
+        header.scenario, header.op_count, header.keyspace, header.seed, header.version
+    );
+    let config = EngineConfig::new(4, 1 << 12, 3)
+        .seed(header.seed)
+        .mode(mode);
+    let Some(mut engine) = Engine::by_name(scheme, config) else {
+        eprintln!(
+            "unknown scheme `{scheme}`; expected one of: {}",
+            AnyScheme::names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let summary = engine.serve_replay(file.ops().iter().copied(), 4_096);
+    println!(
+        "scheme `{scheme}` ({mode:?} choices): {} inserts, {} deletes, {} lookups",
+        summary.inserts, summary.deletes, summary.lookups
+    );
+    println!("{}", engine.stats().render());
+    ExitCode::SUCCESS
+}
+
+fn diff_capture(file: &ReplayFile) -> Result<String, String> {
+    let config = EngineConfig::new(4, 1 << 10, 3).seed(file.header().seed);
+    let outcome =
+        differential_replay(file, DIFF_SCHEMES, config, 2_048).expect("DIFF_SCHEMES are all known");
+    if outcome.is_consistent() {
+        Ok(outcome.render())
+    } else {
+        Err(outcome.render())
+    }
+}
+
+fn diff_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let file = match open_or_die(path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    match diff_capture(&file) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn golden_cmd(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create `{dir}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    for scenario in Scenario::all() {
+        let path = Path::new(dir).join(format!("{}.baops", scenario.name()));
+        let file = golden_capture(&scenario);
+        let bytes = file.encode();
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} ({} ops, {} bytes)",
+            path.display(),
+            file.header().op_count,
+            bytes.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn smoke_cmd() -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("baops-smoke-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create temp dir: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0u32;
+    for scenario in Scenario::all() {
+        let name = scenario.name();
+        let path = dir.join(format!("{name}.baops"));
+        // Small but non-trivial: enough ops for churn/adversarial phases.
+        let captured = ReplayFile::capture(&scenario, 512, GOLDEN_SEED, 4_096);
+        if let Err(e) = captured.save(&path) {
+            eprintln!("FAIL {name}: save: {e}");
+            failures += 1;
+            continue;
+        }
+        let reopened = match ReplayFile::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("FAIL {name}: reopen: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if reopened != captured {
+            eprintln!("FAIL {name}: reopened capture differs from the original");
+            failures += 1;
+            continue;
+        }
+        match diff_capture(&reopened) {
+            Ok(_) => println!("ok {name}: capture/save/open/replay/diff"),
+            Err(report) => {
+                eprintln!("FAIL {name}: worker modes diverged\n{report}");
+                failures += 1;
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    if failures == 0 {
+        println!("smoke: all {} scenarios pass", Scenario::all().len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke: {failures} scenario(s) failed");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("capture") => capture_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
+        Some("golden") => golden_cmd(&args[1..]),
+        Some("smoke") => smoke_cmd(),
+        _ => usage(),
+    }
+}
