@@ -127,7 +127,9 @@ fn bench_mixed_ops(c: &mut Criterion) {
 
 /// The worker-mode race: persistent channel-fed workers must be no slower
 /// than spawning scoped threads per batch (the pre-pool baseline) on the
-/// 1M-op mixed workload at 4 and 8 shards.
+/// 1M-op mixed workload at 4 and 8 shards — plus the pipelined ingestion
+/// path at two queue depths, which overlaps routing with application on
+/// top of the same persistent pool.
 fn bench_worker_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_workers");
     group.throughput(Throughput::Elements(TOTAL_OPS));
@@ -149,6 +151,19 @@ fn bench_worker_modes(c: &mut Criterion) {
                     let config = EngineConfig::new(shards, BINS_PER_SHARD, 3)
                         .seed(SEED)
                         .workers(workers);
+                    let mut engine = Engine::by_name("double", config).expect("known scheme");
+                    engine.serve(ops, BATCH);
+                    black_box(engine.max_load())
+                })
+            });
+        }
+        for depth in [4usize, 64] {
+            let id = BenchmarkId::new(format!("pipelined-qd{depth}"), shards);
+            group.bench_with_input(id, &ops, |b, ops| {
+                b.iter(|| {
+                    let config = EngineConfig::new(shards, BINS_PER_SHARD, 3)
+                        .seed(SEED)
+                        .pipelined(depth);
                     let mut engine = Engine::by_name("double", config).expect("known scheme");
                     engine.serve(ops, BATCH);
                     black_box(engine.max_load())

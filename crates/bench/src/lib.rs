@@ -22,6 +22,7 @@ pub mod ablations;
 pub mod engine;
 pub mod extensions;
 pub mod opts;
+pub mod pipeline;
 pub mod replay;
 pub mod tables;
 pub mod theory;
@@ -57,6 +58,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("churn", ablations::churn),
     ("engine", engine::engine),
     ("replay", replay::replay),
+    ("pipeline", pipeline::pipeline),
 ];
 
 /// Looks up an experiment by name.

@@ -1,21 +1,32 @@
 //! A minimal in-repo MPSC channel for the persistent shard workers.
 //!
-//! The engine needs exactly two primitives: a job queue into each
-//! long-lived shard worker and a shared results queue back to the caller.
-//! Rather than pulling in an external channel crate, this module provides
-//! a small unbounded multi-producer/single-consumer channel built on
-//! `Mutex` + `Condvar`, with the disconnection semantics the worker pool
-//! relies on:
+//! The engine needs exactly three primitives: a job queue into each
+//! long-lived shard worker, a shared results queue back to the caller,
+//! and — for pipelined ingestion — a *bounded* batch queue whose `send`
+//! blocks once the worker falls `cap` batches behind. Rather than pulling
+//! in an external channel crate, this module provides a small
+//! multi-producer/single-consumer channel built on `Mutex` + `Condvar`,
+//! in two flavours sharing one implementation:
+//!
+//! * [`channel`] — unbounded; `send` never blocks;
+//! * [`bounded`] — capacity-`cap`; `send` blocks on a second [`Condvar`]
+//!   while the queue is full, which is exactly the backpressure the
+//!   pipelined ingestion path relies on to cap memory.
+//!
+//! Both share the disconnection semantics the worker pool relies on:
 //!
 //! * dropping every [`Sender`] wakes a blocked [`Receiver::recv`] with
-//!   [`RecvError`] — how workers learn the engine is shutting down;
+//!   [`RecvError`] — how workers learn the engine is shutting down; values
+//!   already queued (even a full bounded queue) still drain first;
 //! * dropping the [`Receiver`] makes [`Sender::send`] return the value
 //!   back in [`SendError`] — how a worker's result send stays non-fatal
-//!   while the engine is being torn down.
+//!   while the engine is being torn down. A sender *blocked* on a full
+//!   bounded queue is woken by the receiver's drop and gets the same
+//!   [`SendError`], so a dying consumer can never strand a producer.
 //!
 //! Throughput needs are modest (a handful of messages per batch, each
-//! carrying a whole shard), so an uncontended mutex around a `VecDeque`
-//! is the right tool; no spinning, no capacity management.
+//! carrying a whole shard or a whole op batch), so an uncontended mutex
+//! around a `VecDeque` is the right tool; no spinning.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -43,6 +54,12 @@ pub struct RecvError;
 struct Inner<T> {
     state: Mutex<State<T>>,
     available: Condvar,
+    /// Signalled when a bounded queue frees a slot (a recv) or when the
+    /// receiver dies; senders blocked on a full queue wait here. Unused
+    /// (never waited on) by unbounded channels.
+    space: Condvar,
+    /// `None` for unbounded channels, `Some(cap)` for [`bounded`] ones.
+    capacity: Option<usize>,
 }
 
 struct State<T> {
@@ -51,8 +68,7 @@ struct State<T> {
     receiver_alive: bool,
 }
 
-/// Creates an unbounded MPSC channel.
-pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
             queue: VecDeque::new(),
@@ -60,6 +76,8 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
             receiver_alive: true,
         }),
         available: Condvar::new(),
+        space: Condvar::new(),
+        capacity,
     });
     (
         Sender {
@@ -69,13 +87,47 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Creates an unbounded MPSC channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded MPSC channel holding at most `cap` queued values.
+///
+/// [`Sender::send`] blocks while the queue holds `cap` values and resumes
+/// as soon as [`Receiver::recv`] frees a slot — backpressure, not loss.
+/// Disconnect semantics match the unbounded flavour: dropping every
+/// sender lets the receiver drain the (possibly full) queue and then
+/// observe [`RecvError`]; dropping the receiver wakes any blocked sender
+/// with its value returned in [`SendError`].
+///
+/// # Panics
+///
+/// Panics if `cap` is zero — a zero-capacity rendezvous channel is not
+/// something the engine needs, and silently treating it as capacity one
+/// would hide a configuration bug.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded channel capacity must be positive");
+    with_capacity(Some(cap))
+}
+
 impl<T> Sender<T> {
-    /// Enqueues `value`, waking the receiver. Returns the value in
-    /// [`SendError`] if the receiver has been dropped.
+    /// Enqueues `value`, waking the receiver. On a [`bounded`] channel
+    /// this blocks while the queue is at capacity. Returns the value in
+    /// [`SendError`] if the receiver has been dropped — including when
+    /// the drop happens while this sender is blocked waiting for space.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut state = self.inner.state.lock().expect("channel lock poisoned");
-        if !state.receiver_alive {
-            return Err(SendError(value));
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.inner.space.wait(state).expect("channel lock poisoned");
+                }
+                _ => break,
+            }
         }
         state.queue.push_back(value);
         drop(state);
@@ -113,11 +165,17 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
-    /// Blocks until a value is available or every sender is gone.
+    /// Blocks until a value is available or every sender is gone. On a
+    /// [`bounded`] channel, taking a value frees a slot and wakes one
+    /// sender blocked on the full queue.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut state = self.inner.state.lock().expect("channel lock poisoned");
         loop {
             if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                if self.inner.capacity.is_some() {
+                    self.inner.space.notify_one();
+                }
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -130,6 +188,21 @@ impl<T> Receiver<T> {
                 .expect("channel lock poisoned");
         }
     }
+
+    /// Takes a value if one is already queued; never blocks. `None` means
+    /// "nothing queued right now" — it does not distinguish an empty
+    /// queue from a disconnected one (callers that care use [`recv`]).
+    ///
+    /// [`recv`]: Receiver::recv
+    pub fn try_recv(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("channel lock poisoned");
+        let value = state.queue.pop_front();
+        drop(state);
+        if value.is_some() && self.inner.capacity.is_some() {
+            self.inner.space.notify_one();
+        }
+        value
+    }
 }
 
 impl<T> Drop for Receiver<T> {
@@ -139,6 +212,9 @@ impl<T> Drop for Receiver<T> {
             .lock()
             .expect("channel lock poisoned")
             .receiver_alive = false;
+        // Wake every sender blocked on a full bounded queue so each can
+        // observe the disconnect and hand its value back.
+        self.inner.space.notify_all();
     }
 }
 
@@ -294,6 +370,108 @@ mod tests {
         assert_eq!(rx.recv(), Err(RecvError));
         // And the error is sticky.
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity_then_resumes_on_recv() {
+        // The backpressure contract: the producer sails through the first
+        // `cap` sends, parks on the next, and resumes exactly when the
+        // receiver frees a slot.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cap = 4usize;
+        let (tx, rx) = bounded::<usize>(cap);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent_clone = Arc::clone(&sent);
+        let producer = std::thread::spawn(move || {
+            for i in 0..cap + 3 {
+                tx.send(i).unwrap();
+                sent_clone.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // The producer must stall with exactly `cap` sends completed.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while sent.load(Ordering::SeqCst) < cap && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(
+            sent.load(Ordering::SeqCst),
+            cap,
+            "producer ran past a full queue"
+        );
+        // Each recv frees one slot; the producer drains to completion.
+        for i in 0..cap + 3 {
+            assert_eq!(rx.recv(), Ok(i), "FIFO order must survive blocking");
+        }
+        producer.join().unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), cap + 3);
+    }
+
+    #[test]
+    fn bounded_disconnect_while_full_drains_cleanly() {
+        // Senders dropping while the queue sits at capacity must not lose
+        // the queued values: the receiver drains all of them, then sees
+        // the disconnect.
+        let cap = 8usize;
+        let (tx, rx) = bounded::<usize>(cap);
+        for i in 0..cap {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..cap {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.recv(), Err(RecvError), "disconnect must be sticky");
+    }
+
+    #[test]
+    fn bounded_producer_panic_surfaces_as_disconnect() {
+        // Mirror of the unbounded worker-panic path: a producer dying
+        // mid-stream (its Sender dropped during unwinding, queue possibly
+        // full) leaves the receiver able to drain what was sent and then
+        // observe RecvError — never a hang.
+        let (tx, rx) = bounded::<u64>(2);
+        let producer = std::thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            panic!("producer dies with the queue full");
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert!(producer.join().is_err(), "panic must propagate to join");
+    }
+
+    #[test]
+    fn bounded_receiver_drop_wakes_blocked_sender_with_its_value() {
+        // The pipelined teardown path: a producer blocked on a full queue
+        // whose consumer dies must wake with SendError carrying the exact
+        // value, not block forever.
+        let (tx, rx) = bounded::<String>(1);
+        tx.send("queued".into()).unwrap();
+        let producer = std::thread::spawn(move || tx.send("blocked".to_string()));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(rx);
+        let err = producer.join().unwrap().unwrap_err();
+        assert_eq!(err.0, "blocked");
+    }
+
+    #[test]
+    fn bounded_try_recv_frees_a_slot() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.try_recv(), None, "empty queue yields None");
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Some(7));
+        // The freed slot is immediately sendable again without blocking.
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv(), Ok(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u8>(0);
     }
 
     #[test]

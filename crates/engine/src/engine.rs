@@ -22,6 +22,35 @@ pub enum ChoiceMode {
     Keyed,
 }
 
+/// How op streams flow from the producer into the shard workers.
+///
+/// Either mode yields bit-identical shard states, summaries, and
+/// [`EngineStats`](crate::EngineStats) percentiles for the same op
+/// stream — each shard still applies exactly its routed subsequence in
+/// order — so the axis trades only latency/throughput, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IngestMode {
+    /// Strictly alternate generate/apply phases: buffer one batch, apply
+    /// it across all shards, wait for every shard, repeat. Simple and
+    /// allocation-light, but producers idle while workers run and vice
+    /// versa.
+    #[default]
+    Phased,
+    /// Overlap production with application: a producer stage partitions
+    /// the op stream and ships per-shard batches into bounded per-worker
+    /// queues (the in-repo channel's `bounded(cap)` flavour) while the
+    /// persistent workers apply earlier batches. `queue_depth` caps how
+    /// many batches may sit queued per worker; a full queue blocks the
+    /// producer (backpressure) rather than buffering without limit.
+    Pipelined {
+        /// Maximum batches queued per shard worker before the producer
+        /// blocks. Depth 1 is a strict double-buffer (worker applies
+        /// batch `k` while the producer fills `k+1`); larger depths
+        /// absorb burstier routing at the cost of memory.
+        queue_depth: usize,
+    },
+}
+
 /// How batches are applied across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum WorkerMode {
@@ -57,6 +86,10 @@ pub struct EngineConfig {
     /// How batches are applied across shards. Results are bit-identical
     /// for every mode; only throughput differs.
     pub workers: WorkerMode,
+    /// How op streams are ingested: strict generate/apply phases or the
+    /// pipelined producer/worker overlap. Results are bit-identical for
+    /// either mode; only throughput and memory bounds differ.
+    pub ingest: IngestMode,
 }
 
 impl EngineConfig {
@@ -72,6 +105,7 @@ impl EngineConfig {
             mode: ChoiceMode::default(),
             rng: RngKind::default(),
             workers: WorkerMode::default(),
+            ingest: IngestMode::default(),
         }
     }
 
@@ -114,6 +148,18 @@ impl EngineConfig {
     pub fn sequential(self) -> Self {
         self.workers(WorkerMode::Sequential)
     }
+
+    /// Sets the ingestion mode for [`Engine::serve`]/[`Engine::serve_replay`].
+    pub fn ingest(mut self, ingest: IngestMode) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Selects pipelined ingestion with the given per-worker queue depth
+    /// (see [`IngestMode::Pipelined`]).
+    pub fn pipelined(self, queue_depth: usize) -> Self {
+        self.ingest(IngestMode::Pipelined { queue_depth })
+    }
 }
 
 /// Routes a key to a shard: SplitMix64 finalizer, then a multiply-shift
@@ -125,15 +171,40 @@ pub fn route(key: u64, shards: usize) -> usize {
     ((mixed as u128 * shards as u128) >> 64) as usize
 }
 
-/// One unit of work for a persistent shard worker: the shard itself plus
-/// its slice of the batch. The shard travels *by value* through the
-/// channel — a shallow move of the struct, not a deep copy of its bin
-/// table and key index — so between batches the engine keeps full
-/// ownership (and `&`-access) to every shard.
-struct Job<S> {
-    shard: Shard<S>,
-    ops: Vec<Op>,
+/// One unit of work for a persistent shard worker. The shard travels
+/// *by value* through the channel — a shallow move of the struct, not a
+/// deep copy of its bin table and key index — so between jobs the engine
+/// keeps full ownership (and `&`-access) to every shard.
+enum Job<S> {
+    /// Phased mode: apply one pre-partitioned batch and report back. The
+    /// op buffer rides home with the result so the engine reuses it for
+    /// the next batch instead of reallocating.
+    Batch {
+        /// The worker's shard, shipped for the duration of the batch.
+        shard: Shard<S>,
+        /// This shard's slice of the batch, in arrival order.
+        ops: Vec<Op>,
+    },
+    /// Pipelined mode: own the shard for a whole ingestion stream,
+    /// applying batches as the producer ships them into the bounded
+    /// queue, until the producer disconnects. Drained op buffers return
+    /// through `recycle` so the producer refills them instead of
+    /// allocating fresh ones.
+    Stream {
+        /// The worker's shard, shipped for the duration of the stream.
+        shard: Shard<S>,
+        /// Bounded queue of op batches; disconnect ends the stream.
+        batches: channel::Receiver<Vec<Op>>,
+        /// Return path for drained op buffers.
+        recycle: channel::Sender<Vec<Op>>,
+    },
 }
+
+/// What a worker reports after finishing a job: the shard (returned to
+/// its slot), the summary of everything applied, and — for batch jobs —
+/// the drained op buffer for reuse (stream jobs recycle buffers through
+/// their own channel and return an empty placeholder).
+type JobResult<S> = (Shard<S>, BatchSummary, Vec<Op>);
 
 /// The persistent worker pool: one long-lived thread per shard, fed
 /// through a per-worker job channel and reporting through a per-worker
@@ -145,7 +216,7 @@ struct Job<S> {
 /// every handle — graceful shutdown without flags or timeouts.
 struct WorkerPool<S> {
     jobs: Vec<channel::Sender<Job<S>>>,
-    results: Vec<channel::Receiver<(Shard<S>, BatchSummary)>>,
+    results: Vec<channel::Receiver<JobResult<S>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -160,11 +231,32 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
             let handle = std::thread::Builder::new()
                 .name(format!("ba-shard-{id}"))
                 .spawn(move || {
-                    while let Ok(Job { mut shard, ops }) = rx.recv() {
-                        let summary = shard.apply(&ops);
-                        // A send error means the engine is gone mid-batch
+                    while let Ok(job) = rx.recv() {
+                        let result = match job {
+                            Job::Batch { mut shard, ops } => {
+                                let summary = shard.apply(&ops);
+                                (shard, summary, ops)
+                            }
+                            Job::Stream {
+                                mut shard,
+                                batches,
+                                recycle,
+                            } => {
+                                let mut summary = BatchSummary::default();
+                                while let Ok(mut ops) = batches.recv() {
+                                    summary.absorb(&shard.apply(&ops));
+                                    ops.clear();
+                                    // A recycle error means the producer is
+                                    // gone (it panicked); keep draining so
+                                    // the stream still ends cleanly.
+                                    let _ = recycle.send(ops);
+                                }
+                                (shard, summary, Vec::new())
+                            }
+                        };
+                        // A send error means the engine is gone mid-job
                         // (it panicked); nothing left to report to.
-                        if results_tx.send((shard, summary)).is_err() {
+                        if results_tx.send(result).is_err() {
                             break;
                         }
                     }
@@ -219,6 +311,21 @@ pub struct Engine<S> {
     /// a persistent parallel batch; always `Some` between public calls.
     shards: Vec<Option<Shard<S>>>,
     pool: Option<WorkerPool<S>>,
+    /// Per-shard partition buffers, reused across batches so the hot path
+    /// never allocates a fresh `Vec<Vec<Op>>`. Under persistent workers
+    /// the buffers travel to the workers with each batch job and ride
+    /// home with the results — double-buffered in the sense that the
+    /// engine and the workers alternate ownership without either side
+    /// ever reallocating.
+    scratch: Vec<Vec<Op>>,
+    /// Reusable chunking buffer for [`Engine::serve_replay`], kept across
+    /// calls so repeated serving allocates nothing after warm-up.
+    replay_buf: Vec<Op>,
+    /// Drained pipeline batch buffers reclaimed at the end of each
+    /// [`Engine::serve_pipelined`] call, so repeated short streams reuse
+    /// their buffers across calls just like phased serving reuses
+    /// `scratch`.
+    spare_buffers: Vec<Vec<Op>>,
 }
 
 impl Engine<AnyScheme> {
@@ -244,6 +351,9 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             config,
             shards,
             pool: None,
+            scratch: Vec::new(),
+            replay_buf: Vec::new(),
+            spare_buffers: Vec::new(),
         }
     }
 
@@ -288,13 +398,23 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             .unwrap_or(0)
     }
 
-    /// Partitions `ops` by shard, preserving arrival order per shard.
-    fn partition(&self, ops: &[Op]) -> Vec<Vec<Op>> {
-        let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); self.shards.len()];
-        for &op in ops {
-            per_shard[route(op.key(), self.shards.len())].push(op);
+    /// Partitions `ops` by shard into the reusable scratch buffers,
+    /// preserving arrival order per shard. Buffers are sized once at
+    /// `ops.len() / shards + 1` — the expected per-shard share — and
+    /// reused (cleared, never shrunk) on every subsequent batch.
+    fn partition_into_scratch(&mut self, ops: &[Op]) {
+        let shards = self.shards.len();
+        if self.scratch.len() != shards {
+            let cap = ops.len() / shards + 1;
+            self.scratch = (0..shards).map(|_| Vec::with_capacity(cap)).collect();
+        } else {
+            for buf in &mut self.scratch {
+                buf.clear();
+            }
         }
-        per_shard
+        for &op in ops {
+            self.scratch[route(op.key(), shards)].push(op);
+        }
     }
 
     /// Applies one batch of operations and returns its aggregate summary.
@@ -304,26 +424,32 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// behave as written even when shards run on different threads.
     pub fn apply_batch(&mut self, ops: &[Op]) -> BatchSummary {
         let mut total = BatchSummary::default();
-        let workers = if self.shards.len() > 1 {
-            self.config.workers
-        } else {
-            WorkerMode::Sequential
-        };
-        match workers {
+        if self.shards.len() == 1 {
+            // One shard: everything routes to it — apply the batch slice
+            // directly, no partition pass at all.
+            let shard = self.shards[0]
+                .as_mut()
+                .expect("shard present between batches");
+            return shard.apply(ops);
+        }
+        self.partition_into_scratch(ops);
+        match self.config.workers {
             WorkerMode::Sequential => {
-                let per_shard = self.partition(ops);
-                for (slot, ops) in self.shards.iter_mut().zip(per_shard.iter()) {
+                for (slot, ops) in self.shards.iter_mut().zip(self.scratch.iter()) {
+                    if ops.is_empty() {
+                        continue;
+                    }
                     let shard = slot.as_mut().expect("shard present between batches");
                     total.absorb(&shard.apply(ops));
                 }
             }
             WorkerMode::Scoped => {
-                let per_shard = self.partition(ops);
+                let scratch = &self.scratch;
                 let summaries = std::thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .shards
                         .iter_mut()
-                        .zip(per_shard.iter())
+                        .zip(scratch.iter())
                         .filter(|(_, ops)| !ops.is_empty())
                         .map(|(slot, ops)| {
                             let shard = slot.as_mut().expect("shard present between batches");
@@ -340,30 +466,32 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
                 }
             }
             WorkerMode::Persistent => {
-                let per_shard = self.partition(ops);
                 let pool = self
                     .pool
                     .get_or_insert_with(|| WorkerPool::spawn(self.shards.len()));
-                let mut outstanding = Vec::with_capacity(per_shard.len());
-                for (id, ops) in per_shard.into_iter().enumerate() {
-                    if ops.is_empty() {
+                for id in 0..self.shards.len() {
+                    if self.scratch[id].is_empty() {
                         continue;
                     }
                     let shard = self.shards[id]
                         .take()
                         .expect("shard present between batches");
-                    if pool.jobs[id].send(Job { shard, ops }).is_err() {
+                    let ops = std::mem::take(&mut self.scratch[id]);
+                    if pool.jobs[id].send(Job::Batch { shard, ops }).is_err() {
                         panic!("shard worker {id} exited early");
                     }
-                    outstanding.push(id);
                 }
-                for id in outstanding {
+                for id in 0..self.shards.len() {
+                    if self.shards[id].is_some() {
+                        continue; // shard never left: empty slice this batch
+                    }
                     // A recv error means the worker dropped its sender
                     // without replying — it panicked mid-apply.
-                    let (shard, summary) = pool.results[id]
+                    let (shard, summary, buf) = pool.results[id]
                         .recv()
                         .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
                     self.shards[id] = Some(shard);
+                    self.scratch[id] = buf;
                     total.absorb(&summary);
                 }
             }
@@ -373,22 +501,26 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
 
     /// Applies a long op stream in `batch_size` chunks; returns the overall
     /// summary. This is the engine's ingestion entry point for drivers that
-    /// generate traffic faster than they want to synchronize.
+    /// generate traffic faster than they want to synchronize. Delegates to
+    /// [`Engine::serve_replay`] — slices and iterators share one chunking
+    /// loop — and therefore honours [`EngineConfig::ingest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
     pub fn serve(&mut self, ops: &[Op], batch_size: usize) -> BatchSummary {
-        assert!(batch_size > 0, "batch size must be positive");
-        let mut total = BatchSummary::default();
-        for chunk in ops.chunks(batch_size) {
-            total.absorb(&self.apply_batch(chunk));
-        }
-        total
+        self.serve_replay(ops.iter().copied(), batch_size)
     }
 
     /// Serves an op *stream* in `batch_size` chunks without materializing
-    /// it: the replay ingestion path. Captured workloads (see
+    /// it: the streaming ingestion path. Captured workloads (see
     /// `ba-workload`'s replay module) can hold millions of ops; this
     /// buffers one batch at a time, so replaying a capture costs the same
     /// memory as serving live traffic. Equivalent to collecting the
-    /// iterator and calling [`Engine::serve`].
+    /// iterator and calling [`Engine::serve`]. Under
+    /// [`IngestMode::Pipelined`] the stream flows through
+    /// [`Engine::serve_pipelined`] instead of phased chunking — results
+    /// are bit-identical either way.
     ///
     /// # Panics
     ///
@@ -399,8 +531,19 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         batch_size: usize,
     ) -> BatchSummary {
         assert!(batch_size > 0, "batch size must be positive");
+        if let IngestMode::Pipelined { queue_depth } = self.config.ingest {
+            // `batch_size` keeps its phased meaning — ops per engine-wide
+            // batch — so the ingest axis never changes per-worker message
+            // granularity: each shard sees ~batch_size/shards ops per
+            // batch under either mode, and a phased-vs-pipelined
+            // comparison at the same `batch_size` isolates the overlap.
+            let per_shard = (batch_size / self.shards.len()).max(1);
+            return self.serve_pipelined(ops, per_shard, queue_depth);
+        }
         let mut total = BatchSummary::default();
-        let mut buf = Vec::with_capacity(batch_size);
+        let mut buf = std::mem::take(&mut self.replay_buf);
+        buf.clear();
+        buf.reserve(batch_size);
         for op in ops {
             buf.push(op);
             if buf.len() == batch_size {
@@ -410,7 +553,131 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         }
         if !buf.is_empty() {
             total.absorb(&self.apply_batch(&buf));
+            buf.clear();
         }
+        self.replay_buf = buf;
+        total
+    }
+
+    /// Serves an op stream with production and application overlapped:
+    /// the calling thread acts as the producer stage — routing each op
+    /// into a per-shard buffer and shipping full buffers into that
+    /// shard's bounded queue — while every persistent worker applies
+    /// previously shipped batches concurrently. A queue at `queue_depth`
+    /// blocks the producer until its worker catches up (backpressure),
+    /// so memory stays bounded by
+    /// `shards × (queue_depth + 2) × batch_size` ops regardless of
+    /// stream length.
+    ///
+    /// Each shard still applies exactly its routed subsequence in arrival
+    /// order, so the outcome — shard loads, max load, batch summary, and
+    /// every [`EngineStats`](crate::EngineStats) percentile — is
+    /// bit-identical to phased serving in any [`WorkerMode`], including
+    /// [`WorkerMode::Sequential`]. Only throughput differs: here the
+    /// producer (op generation, routing) runs concurrently with shard
+    /// application instead of alternating with it.
+    ///
+    /// `batch_size` here is the *per-shard* batch granularity: each
+    /// worker receives batches of up to `batch_size` ops. (The config-
+    /// driven entry points [`Engine::serve`]/[`Engine::serve_replay`]
+    /// pass `batch_size / shards` so their `batch_size` argument keeps
+    /// one meaning across ingest modes.) Drained batch buffers recycle
+    /// back to the producer — and persist on the engine across calls —
+    /// so steady-state ingestion performs no allocation. This path
+    /// always uses the persistent worker pool (spawning it on first
+    /// use) regardless of [`EngineConfig::workers`], which only governs
+    /// phased [`Engine::apply_batch`] application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `queue_depth` is zero, or if a shard
+    /// worker panics mid-stream (the worker's panic is surfaced, never a
+    /// deadlock).
+    pub fn serve_pipelined(
+        &mut self,
+        ops: impl IntoIterator<Item = Op>,
+        batch_size: usize,
+        queue_depth: usize,
+    ) -> BatchSummary {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(queue_depth > 0, "queue depth must be positive");
+        let shards = self.shards.len();
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(shards));
+        // Stage 0: ship every shard to its worker with a fresh bounded
+        // batch queue and a recycle channel for drained buffers.
+        let mut batches = Vec::with_capacity(shards);
+        let mut recycled = Vec::with_capacity(shards);
+        for (id, slot) in self.shards.iter_mut().enumerate() {
+            let (batch_tx, batch_rx) = channel::bounded::<Vec<Op>>(queue_depth);
+            let (recycle_tx, recycle_rx) = channel::channel();
+            let shard = slot.take().expect("shard present between batches");
+            let job = Job::Stream {
+                shard,
+                batches: batch_rx,
+                recycle: recycle_tx,
+            };
+            if pool.jobs[id].send(job).is_err() {
+                panic!("shard worker {id} exited early");
+            }
+            batches.push(batch_tx);
+            recycled.push(recycle_rx);
+        }
+        // Producer stage: route ops into per-shard filling buffers; a
+        // full buffer ships into the bounded queue (blocking only when
+        // the worker is queue_depth batches behind) and is replaced by a
+        // recycled buffer the worker already drained, a spare from a
+        // previous call, or — only while the pipeline warms up — a fresh
+        // allocation. Past warm-up this loop allocates nothing, across
+        // calls included.
+        let mut spare = std::mem::take(&mut self.spare_buffers);
+        let grab = |spare: &mut Vec<Vec<Op>>| {
+            spare
+                .pop()
+                .map(|mut buf| {
+                    buf.reserve(batch_size);
+                    buf
+                })
+                .unwrap_or_else(|| Vec::with_capacity(batch_size))
+        };
+        let mut filling: Vec<Vec<Op>> = (0..shards).map(|_| grab(&mut spare)).collect();
+        for op in ops {
+            let id = route(op.key(), shards);
+            filling[id].push(op);
+            if filling[id].len() == batch_size {
+                let full = std::mem::take(&mut filling[id]);
+                if batches[id].send(full).is_err() {
+                    panic!("shard worker {id} panicked");
+                }
+                filling[id] = recycled[id].try_recv().unwrap_or_else(|| grab(&mut spare));
+            }
+        }
+        for (id, buf) in filling.into_iter().enumerate() {
+            if buf.is_empty() {
+                spare.push(buf); // keep the capacity for the next call
+            } else if batches[id].send(buf).is_err() {
+                panic!("shard worker {id} panicked");
+            }
+        }
+        // Disconnect the batch queues: each worker drains what is queued,
+        // then reports its shard and stream summary.
+        drop(batches);
+        let mut total = BatchSummary::default();
+        for id in 0..shards {
+            let (shard, summary, _) = pool.results[id]
+                .recv()
+                .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
+            self.shards[id] = Some(shard);
+            total.absorb(&summary);
+        }
+        // Reclaim every buffer the workers drained after the producer
+        // stopped picking them up; the next serve_pipelined call starts
+        // from this pool instead of the allocator.
+        for rx in &recycled {
+            while let Some(buf) = rx.try_recv() {
+                spare.push(buf);
+            }
+        }
+        self.spare_buffers = spare;
         total
     }
 
@@ -537,6 +804,115 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serve_pipelined_equals_sequential_serving() {
+        // The pipelined acceptance contract at the unit level: identical
+        // summaries, per-shard loads, and stats snapshots to sequential
+        // phased serving, for every queue depth — batch boundaries and
+        // producer/worker interleaving must be invisible in the results.
+        let ops = mixed_ops(20_000);
+        let mut seq = engine(8, WorkerMode::Sequential);
+        let expected = seq.serve(&ops, 1_024);
+        for depth in [1usize, 4, 64] {
+            let mut pip = engine(8, WorkerMode::Sequential);
+            let got = pip.serve_pipelined(ops.iter().copied(), 1_024, depth);
+            assert_eq!(got, expected, "depth {depth}");
+            assert!(pip.stats().matches(&seq.stats()), "depth {depth}");
+            for (a, b) in pip.shards().iter().zip(seq.shards()) {
+                assert_eq!(
+                    a.allocation().loads(),
+                    b.allocation().loads(),
+                    "depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ingest_mode_flows_through_serve_and_serve_replay() {
+        // The config axis: an engine configured Pipelined serves through
+        // the pipeline on both entry points and still matches phased.
+        let ops = mixed_ops(9_999);
+        let mut phased = engine(4, WorkerMode::Persistent);
+        let expected = phased.serve(&ops, 512);
+        let cfg = EngineConfig::new(4, 256, 3).seed(42).pipelined(2);
+        assert_eq!(cfg.ingest, IngestMode::Pipelined { queue_depth: 2 });
+        let mut via_serve = Engine::by_name("double", cfg.clone()).unwrap();
+        assert_eq!(via_serve.serve(&ops, 512), expected);
+        let mut via_replay = Engine::by_name("double", cfg).unwrap();
+        assert_eq!(via_replay.serve_replay(ops.iter().copied(), 512), expected);
+        for (a, b) in via_serve.shards().iter().zip(phased.shards()) {
+            assert_eq!(a.allocation().loads(), b.allocation().loads());
+        }
+    }
+
+    #[test]
+    fn serve_pipelined_survives_repeated_calls_and_single_shard() {
+        // The stream jobs and the pool outlive any one call; a one-shard
+        // engine still pipelines (producer/worker overlap is the point).
+        let ops = mixed_ops(5_000);
+        let mut seq = engine(1, WorkerMode::Sequential);
+        let mut pip = engine(1, WorkerMode::Sequential);
+        for chunk in ops.chunks(1_000) {
+            let a = seq.serve(chunk, 128);
+            let b = pip.serve_pipelined(chunk.iter().copied(), 128, 2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            seq.shard(0).allocation().loads(),
+            pip.shard(0).allocation().loads()
+        );
+        // The drained batch buffers survive the call on the engine's
+        // spare pool, so the next stream starts allocation-free.
+        assert!(
+            !pip.spare_buffers.is_empty(),
+            "pipeline buffers were dropped instead of pooled"
+        );
+    }
+
+    #[test]
+    fn serve_pipelined_handles_empty_stream() {
+        let mut eng = engine(4, WorkerMode::Persistent);
+        assert_eq!(
+            eng.serve_pipelined(std::iter::empty(), 64, 4),
+            BatchSummary::default()
+        );
+        assert_eq!(eng.total_balls(), 0);
+    }
+
+    #[test]
+    fn pipelined_worker_panic_propagates_instead_of_deadlocking() {
+        // A shard panicking mid-stream must surface as a panic in
+        // serve_pipelined — whether the producer is blocked in a bounded
+        // send or waiting on the worker's result — never a deadlock.
+        let result = std::panic::catch_unwind(|| {
+            let cfg = EngineConfig::new(2, 64, 1).seed(1).keyed();
+            let mut eng = Engine::with_scheme_factory(cfg, |_| Exploding { n: 64, poison: 42 });
+            eng.serve_pipelined((0..4_096u64).map(Op::Insert), 8, 1);
+        });
+        assert!(result.is_err(), "pipelined worker panic was swallowed");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        engine(2, WorkerMode::Persistent).serve_pipelined([Op::Insert(1)], 8, 0);
+    }
+
+    #[test]
+    fn sequential_batches_reuse_partition_scratch() {
+        // The zero-allocation contract, observably: after the first
+        // batch, partition buffers are reused (their capacity persists)
+        // rather than freshly allocated per batch.
+        let mut eng = engine(2, WorkerMode::Sequential);
+        eng.apply_batch(&(0..1_000u64).map(Op::Insert).collect::<Vec<_>>());
+        let caps: Vec<usize> = eng.scratch.iter().map(Vec::capacity).collect();
+        assert!(caps.iter().all(|&c| c > 0), "scratch never materialized");
+        eng.apply_batch(&(1_000..1_400u64).map(Op::Insert).collect::<Vec<_>>());
+        let caps_after: Vec<usize> = eng.scratch.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "smaller batch must not reallocate");
     }
 
     #[test]

@@ -26,10 +26,19 @@
 //!   agree bit-for-bit, and an insert-only shard reproduces
 //!   `ba_core::run_process` (or `run_process_keys` in keyed mode) exactly.
 //! * **Persistent workers** — [`Engine::serve`] chunks an op stream into
-//!   batches; each batch is partitioned per shard (order-preserving) and
-//!   fanned out to one long-lived worker thread per shard over in-repo
-//!   MPSC channels ([`WorkerMode::Persistent`]), avoiding a thread spawn
-//!   per batch; workers join gracefully when the engine drops.
+//!   batches; each batch is partitioned per shard (order-preserving,
+//!   into reusable scratch buffers — the hot path allocates nothing
+//!   after warm-up) and fanned out to one long-lived worker thread per
+//!   shard over in-repo MPSC channels ([`WorkerMode::Persistent`]),
+//!   avoiding a thread spawn per batch; workers join gracefully when the
+//!   engine drops.
+//! * **Pipelined ingestion** — [`Engine::serve_pipelined`] (or
+//!   [`IngestMode::Pipelined`] via [`EngineConfig::ingest`]) overlaps
+//!   production with application: the calling thread partitions the op
+//!   stream and ships per-shard batches into *bounded* backpressured
+//!   queues while the persistent workers apply earlier batches; drained
+//!   batch buffers recycle back to the producer. Bit-identical results
+//!   to phased serving, strictly better producer/worker overlap.
 //! * **Replay** — [`Engine::serve_replay`] ingests an op *iterator* in
 //!   batch-sized chunks, so captured workload files (the `ba-workload`
 //!   replay module's `.baops` format) replay at live-serving memory cost,
@@ -65,7 +74,7 @@ mod metrics;
 mod op;
 mod shard;
 
-pub use engine::{route, ChoiceMode, Engine, EngineConfig, WorkerMode};
+pub use engine::{route, ChoiceMode, Engine, EngineConfig, IngestMode, WorkerMode};
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
 pub use shard::Shard;

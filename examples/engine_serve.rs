@@ -8,24 +8,27 @@
 //! both choice modes.
 //!
 //! ```text
-//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream]
+//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined]
 //! # scheme: random | double | blocks | one | ... (default: compares random vs double)
 //! # keyed: derive choices from hash(key, shard_salt) so re-inserts replay
 //! #        their f + k·g probe sequences (default: stream)
+//! # pipelined: overlap workload generation with shard application through
+//! #            bounded per-worker queues (default: phased generate/apply)
 //! ```
 
 use balanced_allocations::prelude::*;
 
-fn serve_suite(scheme: &str, shards: usize, total_ops: u64, mode: ChoiceMode) {
+fn serve_suite(scheme: &str, shards: usize, total_ops: u64, mode: ChoiceMode, ingest: IngestMode) {
     let bins_per_shard = 1u64 << 12;
     let keyspace = bins_per_shard * shards as u64;
     println!(
-        "== scheme `{scheme}` ({mode:?} choices): {shards} shards x {bins_per_shard} bins, d = 3, {total_ops} ops/scenario ==\n"
+        "== scheme `{scheme}` ({mode:?} choices, {ingest:?} ingest): {shards} shards x {bins_per_shard} bins, d = 3, {total_ops} ops/scenario ==\n"
     );
     for scenario in Scenario::all() {
         let config = EngineConfig::new(shards, bins_per_shard, 3)
             .seed(2014)
-            .mode(mode);
+            .mode(mode)
+            .ingest(ingest);
         let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, 4096)
             .expect("scheme validated in main");
         println!(
@@ -50,6 +53,14 @@ fn main() {
         }
         None => ChoiceMode::Stream,
     };
+    // A `pipelined` token anywhere selects pipelined ingestion.
+    let ingest = match args.iter().position(|a| a == "pipelined") {
+        Some(idx) => {
+            args.remove(idx);
+            IngestMode::Pipelined { queue_depth: 4 }
+        }
+        None => IngestMode::Phased,
+    };
     // A numeric first argument means the scheme was omitted: keep the
     // default two-scheme comparison and read [shards] [ops] from there.
     let (schemes, rest): (Vec<String>, &[String]) = match args.first() {
@@ -68,6 +79,6 @@ fn main() {
     let shards: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let total_ops: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
     for scheme in &schemes {
-        serve_suite(scheme, shards, total_ops, mode);
+        serve_suite(scheme, shards, total_ops, mode, ingest);
     }
 }

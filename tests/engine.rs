@@ -17,6 +17,57 @@ fn config(shards: usize, bins: u64, d: usize, seed: u64) -> EngineConfig {
 }
 
 #[test]
+fn pipelined_ingestion_equals_phased_for_every_scenario_scheme_mode_and_depth() {
+    // The pipelined acceptance matrix: for all 5 scenarios × every scheme
+    // the workspace ships × both choice modes × queue depths {1, 4, 64},
+    // serving through the bounded-queue pipeline is bit-identical —
+    // summary, per-shard loads, max loads, stats percentiles — to phased
+    // WorkerMode::Sequential serving of the same generated stream.
+    let total_ops = 4_000u64;
+    let keyspace = 512u64;
+    for scenario in Scenario::all() {
+        for &scheme in AnyScheme::names() {
+            // d = 4 divides the 128-bin tables evenly (the d-left
+            // schemes require it); the one-choice baseline keeps d = 1.
+            let d = if scheme == "one" { 1 } else { 4 };
+            for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+                let phased = run_scenario(
+                    scheme,
+                    &scenario,
+                    config(4, 128, d, 29).mode(mode).sequential(),
+                    keyspace,
+                    total_ops,
+                    256,
+                )
+                .unwrap();
+                for depth in [1usize, 4, 64] {
+                    let pipelined = run_scenario(
+                        scheme,
+                        &scenario,
+                        config(4, 128, d, 29)
+                            .mode(mode)
+                            .ingest(IngestMode::Pipelined { queue_depth: depth }),
+                        keyspace,
+                        total_ops,
+                        256,
+                    )
+                    .unwrap();
+                    let tag = format!("{}/{scheme}/{mode:?}/depth {depth}", scenario.name());
+                    assert_eq!(pipelined.summary, phased.summary, "{tag}");
+                    assert_eq!(
+                        pipelined.stats.max_loads(),
+                        phased.stats.max_loads(),
+                        "{tag}"
+                    );
+                    let divergences = phased.stats.divergences(&pipelined.stats);
+                    assert!(divergences.is_empty(), "{tag}: {divergences:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn persistent_engine_equals_sequential_engine_for_every_shard_count_and_scenario() {
     // Satellite acceptance: the persistent-worker engine is bit-identical
     // to the sequential path for shards ∈ {1, 2, 8} across all workload

@@ -147,6 +147,39 @@ fn serve_replay_on_golden_capture_matches_drive() {
 }
 
 #[test]
+fn serve_pipelined_on_golden_captures_matches_phased_replay() {
+    // The pipelined twin of the replay-fidelity anchor: pushing a golden
+    // capture through the bounded-queue pipeline — at several queue
+    // depths — is bit-identical to phased serve_replay of the same file,
+    // in both choice modes.
+    for scenario in Scenario::all() {
+        let file = ReplayFile::open(golden_path(&scenario)).expect("golden file decodes");
+        for mode in [ChoiceMode::Stream, ChoiceMode::Keyed] {
+            let config = || EngineConfig::new(4, 256, 3).seed(GOLDEN_SEED).mode(mode);
+            let mut phased_engine = Engine::by_name("double", config()).unwrap();
+            let phased = phased_engine.serve_replay(file.ops().iter().copied(), 512);
+            for depth in [1usize, 4, 64] {
+                let tag = format!("{}/{mode:?}/depth {depth}", scenario.name());
+                let mut pipelined_engine = Engine::by_name("double", config()).unwrap();
+                let pipelined =
+                    pipelined_engine.serve_pipelined(file.ops().iter().copied(), 512, depth);
+                assert_eq!(pipelined, phased, "{tag}");
+                let divergences = phased_engine.stats().divergences(&pipelined_engine.stats());
+                assert!(divergences.is_empty(), "{tag}: {divergences:?}");
+                for (a, b) in phased_engine.shards().iter().zip(pipelined_engine.shards()) {
+                    assert_eq!(
+                        a.allocation().loads(),
+                        b.allocation().loads(),
+                        "{tag}: shard {} bin loads",
+                        a.id()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn golden_stats_snapshots_at_pinned_seed() {
     // Placement-stability anchor: expected values were produced by this
     // exact configuration and checked in. A mismatch means hashing,
