@@ -4,23 +4,33 @@
 //! tables <experiment>... [--trials N] [--seed S] [--threads T] [--full]
 //! tables all [--trials N]
 //! tables list
+//! tables pipeline-gate <baseline.json> <candidate.json>
 //! ```
 
-use ba_bench::{experiment, run_all, Opts, EXPERIMENTS};
+use ba_bench::{experiment, gate, run_all, Opts, EXPERIMENTS};
 use std::process::ExitCode;
+
+/// Allowed fractional throughput drop before the perf gate fails.
+const GATE_TOLERANCE: f64 = 0.20;
 
 fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: tables <experiment>... [--trials N] [--seed S] [--threads T] [--full]\n\
+         \x20      tables pipeline-gate <baseline.json> <candidate.json>\n\
          \n\
          experiments: all, list, {}\n\
          \n\
          --trials N   trials per configuration (default 200; paper used 10000)\n\
          --seed S     master seed (default 2014)\n\
          --threads T  worker threads (default: all cores)\n\
-         --full       paper-scale sizes for table8 (n=2^14, 10^4 s horizon)",
-        names.join(", ")
+         --full       paper-scale sizes for table8 (n=2^14, 10^4 s horizon)\n\
+         \n\
+         pipeline-gate compares two BENCH_pipeline.json files and fails if any\n\
+         candidate cell is >{:.0}% slower than its baseline, missing, or no\n\
+         longer bit-identical.",
+        names.join(", "),
+        GATE_TOLERANCE * 100.0
     )
 }
 
@@ -36,6 +46,29 @@ fn main() -> ExitCode {
     if names.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+    if names[0] == "pipeline-gate" {
+        let [_, baseline, candidate] = names.as_slice() else {
+            eprintln!(
+                "error: pipeline-gate takes exactly two file arguments\n\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        };
+        return match gate::gate_files(baseline.as_ref(), candidate.as_ref(), GATE_TOLERANCE) {
+            Ok(report) => {
+                print!("{report}");
+                println!(
+                    "pipeline perf gate: OK (tolerance {:.0}%)",
+                    GATE_TOLERANCE * 100.0
+                );
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                eprintln!("pipeline perf gate FAILED:\n{violations}");
+                ExitCode::FAILURE
+            }
+        };
     }
     for name in &names {
         match name.as_str() {

@@ -21,6 +21,7 @@
 pub mod ablations;
 pub mod engine;
 pub mod extensions;
+pub mod gate;
 pub mod opts;
 pub mod pipeline;
 pub mod replay;

@@ -11,15 +11,23 @@
 //!
 //! Besides the rendered table, the experiment emits a machine-readable
 //! `BENCH_pipeline.json` next to the working directory — the perf
-//! trajectory file CI regenerates on every run, so ingestion throughput
-//! has a tracked history.
+//! trajectory file CI regenerates on every run (and gates against the
+//! committed baseline, see [`crate::gate`]), so ingestion throughput has
+//! a tracked history.
+//!
+//! Every cell also runs with a [`ba_engine::SharedSink`] attached, so
+//! the table and the JSON carry the pipeline's *pressure* alongside its
+//! rate: backpressure stall count, total stall time, and the peak
+//! bounded-queue occupancy seen at any ship.
 
 use crate::Opts;
-use ba_engine::EngineConfig;
+use ba_engine::{EngineConfig, SharedSink};
+use ba_stats::json::JsonObject;
 use ba_stats::Table;
-use ba_workload::{run_scenario, DriveReport, Scenario};
+use ba_workload::{run_scenario_with_sink, DriveReport, Scenario};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
 /// Queue depths the pipelined cells sweep. Depth 1 is the strict
 /// double-buffer; 64 approximates an unbounded queue at these batch
@@ -57,26 +65,53 @@ struct Cell {
     /// full drive for both and compares like with like.
     wall_ops_per_sec: f64,
     consistent: bool,
+    /// Backpressure stalls across the run's shipped batches (pipelined
+    /// cells; structurally zero for phased).
+    stalls: u64,
+    /// Total time the producer spent blocked on full queues.
+    stalled: Duration,
+    /// Highest bounded-queue occupancy observed at any ship.
+    peak_occupancy: u32,
 }
 
-/// Runs one scenario cell and times the whole drive, generation included.
+/// Runs one scenario cell with a metrics sink attached and times the
+/// whole drive, generation included. The same sink rides along in both
+/// modes so the phased and pipelined rates carry identical overhead.
 fn timed_run(
     scenario: &Scenario,
     config: EngineConfig,
     keyspace: u64,
     total_ops: u64,
     batch: usize,
-) -> (DriveReport, f64) {
+) -> (DriveReport, f64, SharedSink) {
+    let sink = SharedSink::new();
     let start = std::time::Instant::now();
-    let report =
-        run_scenario("double", scenario, config, keyspace, total_ops, batch).expect("known scheme");
+    let report = run_scenario_with_sink(
+        "double",
+        scenario,
+        config,
+        keyspace,
+        total_ops,
+        batch,
+        Box::new(sink.clone()),
+    )
+    .expect("known scheme");
     let wall = start.elapsed().as_secs_f64();
     let rate = if wall > 0.0 {
         total_ops as f64 / wall
     } else {
         f64::INFINITY
     };
-    (report, rate)
+    (report, rate, sink)
+}
+
+/// Folds a run's metric records into the cell's stall/occupancy columns.
+fn pressure(sink: &SharedSink) -> (u64, Duration, u32) {
+    let records = sink.records();
+    let stalls = records.iter().map(|r| u64::from(r.stalls)).sum();
+    let stalled = records.iter().map(|r| r.stalled).sum();
+    let peak = records.iter().map(|r| r.queue_occupancy).max().unwrap_or(0);
+    (stalls, stalled, peak)
 }
 
 /// The sweep body, parameterized so tests can run a small matrix against
@@ -101,9 +136,10 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
     let mut cells: Vec<Cell> = Vec::new();
     let mut all_consistent = true;
     for scenario in SCENARIOS {
-        let (phased, phased_rate) = timed_run(scenario, config(), keyspace, total_ops, batch);
+        let (phased, phased_rate, phased_sink) =
+            timed_run(scenario, config(), keyspace, total_ops, batch);
         for &depth in QUEUE_DEPTHS {
-            let (pipelined, rate) = timed_run(
+            let (pipelined, rate, sink) = timed_run(
                 scenario,
                 config().pipelined(depth),
                 keyspace,
@@ -113,6 +149,7 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
             let consistent =
                 pipelined.summary == phased.summary && pipelined.stats.matches(&phased.stats);
             all_consistent &= consistent;
+            let (stalls, stalled, peak_occupancy) = pressure(&sink);
             cells.push(Cell {
                 scenario: scenario.name(),
                 ingest: "pipelined",
@@ -120,8 +157,12 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
                 report: pipelined,
                 wall_ops_per_sec: rate,
                 consistent,
+                stalls,
+                stalled,
+                peak_occupancy,
             });
         }
+        let (stalls, stalled, peak_occupancy) = pressure(&phased_sink);
         cells.push(Cell {
             scenario: scenario.name(),
             ingest: "phased",
@@ -129,6 +170,9 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
             report: phased,
             wall_ops_per_sec: phased_rate,
             consistent: true,
+            stalls,
+            stalled,
+            peak_occupancy,
         });
     }
 
@@ -139,6 +183,8 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
         "Mops/s",
         "max load",
         "balls",
+        "stalls",
+        "stall ms",
         "identical",
     ]);
     for cell in &cells {
@@ -149,6 +195,8 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
             format!("{:.2}", cell.wall_ops_per_sec / 1e6),
             cell.report.stats.max_load().to_string(),
             cell.report.stats.total_balls().to_string(),
+            cell.stalls.to_string(),
+            format!("{:.1}", cell.stalled.as_secs_f64() * 1e3),
             if cell.consistent { "yes" } else { "NO" }.to_string(),
         ]);
     }
@@ -171,8 +219,11 @@ pub(crate) fn run_matrix(opts: &Opts, total_ops: u64, json_path: &Path) -> Strin
     out
 }
 
-/// Renders the sweep as a small JSON document — hand-rolled, since the
-/// workspace takes no serialization dependency.
+/// Renders the sweep as a small JSON document. The outer shell is a
+/// pretty-printed object; each cell line is built with the shared
+/// [`ba_stats::json`] helper — the same escaping/formatting path the
+/// engine's metrics exporter uses — since the workspace takes no
+/// serialization dependency.
 fn render_json(
     opts: &Opts,
     shards: usize,
@@ -190,20 +241,23 @@ fn render_json(
     let _ = writeln!(json, "  \"batch_size\": {batch},");
     let _ = writeln!(json, "  \"cells\": [");
     for (i, cell) in cells.iter().enumerate() {
-        let depth = cell
-            .queue_depth
-            .map_or("null".to_string(), |d| d.to_string());
-        let _ = write!(
-            json,
-            "    {{\"scenario\": \"{}\", \"ingest\": \"{}\", \"queue_depth\": {depth}, \
-             \"ops_per_sec\": {:.0}, \"max_load\": {}, \"balls\": {}, \"identical\": {}}}",
-            cell.scenario,
-            cell.ingest,
-            cell.wall_ops_per_sec,
-            cell.report.stats.max_load(),
-            cell.report.stats.total_balls(),
-            cell.consistent,
-        );
+        let obj = JsonObject::new()
+            .field_str("scenario", cell.scenario)
+            .field_str("ingest", cell.ingest);
+        let obj = match cell.queue_depth {
+            Some(depth) => obj.field_u64("queue_depth", depth as u64),
+            None => obj.field_raw("queue_depth", "null"),
+        };
+        let line = obj
+            .field_raw("ops_per_sec", &format!("{:.0}", cell.wall_ops_per_sec))
+            .field_u64("max_load", u64::from(cell.report.stats.max_load()))
+            .field_u64("balls", cell.report.stats.total_balls())
+            .field_u64("stalls", cell.stalls)
+            .field_u64("stall_us", cell.stalled.as_micros() as u64)
+            .field_u64("peak_occupancy", u64::from(cell.peak_occupancy))
+            .field_bool("identical", cell.consistent)
+            .finish();
+        let _ = write!(json, "    {line}");
         json.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
     }
     json.push_str("  ]\n}\n");
@@ -237,6 +291,9 @@ mod tests {
         assert!(json.contains("\"queue_depth\": 64"), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
         assert!(!json.contains("\"identical\": false"), "{json}");
+        assert!(json.contains("\"stalls\": "), "{json}");
+        assert!(json.contains("\"stall_us\": "), "{json}");
+        assert!(json.contains("\"peak_occupancy\": "), "{json}");
         // The emitted document must at least be brace-balanced — cheap
         // insurance for a hand-rolled writer.
         assert_eq!(

@@ -117,13 +117,24 @@ impl<T> Sender<T> {
     /// [`SendError`] if the receiver has been dropped — including when
     /// the drop happens while this sender is blocked waiting for space.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.send_tracked(value).map(|_stall| ())
+    }
+
+    /// [`Sender::send`], reporting how long this call spent blocked on a
+    /// full bounded queue: `Duration::ZERO` when the value was enqueued
+    /// immediately, the measured wait otherwise. This is the primitive
+    /// behind the engine's backpressure-stall telemetry — a nonzero
+    /// return is exactly one producer stall.
+    pub fn send_tracked(&self, value: T) -> Result<std::time::Duration, SendError<T>> {
         let mut state = self.inner.state.lock().expect("channel lock poisoned");
+        let mut blocked_at: Option<std::time::Instant> = None;
         loop {
             if !state.receiver_alive {
                 return Err(SendError(value));
             }
             match self.inner.capacity {
                 Some(cap) if state.queue.len() >= cap => {
+                    blocked_at.get_or_insert_with(std::time::Instant::now);
                     state = self.inner.space.wait(state).expect("channel lock poisoned");
                 }
                 _ => break,
@@ -132,7 +143,20 @@ impl<T> Sender<T> {
         state.queue.push_back(value);
         drop(state);
         self.inner.available.notify_one();
-        Ok(())
+        Ok(blocked_at.map_or(std::time::Duration::ZERO, |t| t.elapsed()))
+    }
+
+    /// How many values sit queued right now — a point-in-time occupancy
+    /// sample (racy by nature: the receiver may drain concurrently). The
+    /// pipelined producer samples this after each shipped batch to report
+    /// queue-occupancy telemetry.
+    pub fn queued(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
     }
 }
 
@@ -472,6 +496,48 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn send_tracked_reports_zero_without_contention() {
+        // Unbounded sends never block; bounded sends below capacity
+        // don't either — both must report a zero stall.
+        let (utx, _urx) = channel::<u32>();
+        assert_eq!(utx.send_tracked(1).unwrap(), std::time::Duration::ZERO);
+        let (btx, _brx) = bounded::<u32>(4);
+        for i in 0..4 {
+            assert_eq!(btx.send_tracked(i).unwrap(), std::time::Duration::ZERO);
+        }
+        assert_eq!(btx.queued(), 4);
+    }
+
+    #[test]
+    fn send_tracked_measures_the_blocked_wait() {
+        // Fill the queue, then send from a thread while the receiver
+        // sleeps before draining: the tracked duration must cover the
+        // enforced wait.
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let producer = std::thread::spawn(move || tx.send_tracked(1).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(rx.recv(), Ok(0));
+        let stall = producer.join().unwrap();
+        assert!(
+            stall >= std::time::Duration::from_millis(20),
+            "stall {stall:?} did not cover the blocked window"
+        );
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn queued_tracks_sends_and_recvs() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(tx.queued(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.queued(), 2);
+        rx.recv().unwrap();
+        assert_eq!(tx.queued(), 1);
     }
 
     #[test]

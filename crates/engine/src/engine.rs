@@ -4,10 +4,12 @@ use crate::channel;
 use crate::metrics::{EngineStats, ShardStats};
 use crate::op::{BatchSummary, Op};
 use crate::shard::Shard;
+use crate::sink::{MetricRecord, MetricsSink};
 use ba_core::TieBreak;
 use ba_hash::{AnyScheme, ChoiceScheme};
 use ba_rng::RngKind;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How shards obtain each ball's choice vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -197,14 +199,24 @@ enum Job<S> {
         batches: channel::Receiver<Vec<Op>>,
         /// Return path for drained op buffers.
         recycle: channel::Sender<Vec<Op>>,
+        /// Whether to time each batch apply for metrics (set only when a
+        /// sink is attached, so untracked streams pay nothing).
+        track: bool,
     },
 }
 
 /// What a worker reports after finishing a job: the shard (returned to
-/// its slot), the summary of everything applied, and — for batch jobs —
-/// the drained op buffer for reuse (stream jobs recycle buffers through
-/// their own channel and return an empty placeholder).
-type JobResult<S> = (Shard<S>, BatchSummary, Vec<Op>);
+/// its slot), the summary of everything applied, the drained op buffer
+/// for reuse (batch jobs; stream jobs recycle buffers through their own
+/// channel and return an empty placeholder), and — for tracked stream
+/// jobs — the per-batch apply latencies, in batch arrival order, that
+/// the engine joins with its producer-side ship records.
+struct JobDone<S> {
+    shard: Shard<S>,
+    summary: BatchSummary,
+    buffer: Vec<Op>,
+    applies: Vec<Duration>,
+}
 
 /// The persistent worker pool: one long-lived thread per shard, fed
 /// through a per-worker job channel and reporting through a per-worker
@@ -216,7 +228,7 @@ type JobResult<S> = (Shard<S>, BatchSummary, Vec<Op>);
 /// every handle — graceful shutdown without flags or timeouts.
 struct WorkerPool<S> {
     jobs: Vec<channel::Sender<Job<S>>>,
-    results: Vec<channel::Receiver<JobResult<S>>>,
+    results: Vec<channel::Receiver<JobDone<S>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -235,23 +247,41 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
                         let result = match job {
                             Job::Batch { mut shard, ops } => {
                                 let summary = shard.apply(&ops);
-                                (shard, summary, ops)
+                                JobDone {
+                                    shard,
+                                    summary,
+                                    buffer: ops,
+                                    applies: Vec::new(),
+                                }
                             }
                             Job::Stream {
                                 mut shard,
                                 batches,
                                 recycle,
+                                track,
                             } => {
                                 let mut summary = BatchSummary::default();
+                                let mut applies = Vec::new();
                                 while let Ok(mut ops) = batches.recv() {
-                                    summary.absorb(&shard.apply(&ops));
+                                    if track {
+                                        let t0 = Instant::now();
+                                        summary.absorb(&shard.apply(&ops));
+                                        applies.push(t0.elapsed());
+                                    } else {
+                                        summary.absorb(&shard.apply(&ops));
+                                    }
                                     ops.clear();
                                     // A recycle error means the producer is
                                     // gone (it panicked); keep draining so
                                     // the stream still ends cleanly.
                                     let _ = recycle.send(ops);
                                 }
-                                (shard, summary, Vec::new())
+                                JobDone {
+                                    shard,
+                                    summary,
+                                    buffer: Vec::new(),
+                                    applies,
+                                }
                             }
                         };
                         // A send error means the engine is gone mid-job
@@ -304,7 +334,6 @@ impl<S> Drop for WorkerPool<S> {
 /// depends only on its own ordered op subsequence, so the engine's final
 /// state is bit-identical between sequential and parallel application and
 /// across any number of worker threads.
-#[derive(Debug)]
 pub struct Engine<S> {
     config: EngineConfig,
     /// `None` only transiently while a shard is out with a worker during
@@ -326,6 +355,54 @@ pub struct Engine<S> {
     /// their buffers across calls just like phased serving reuses
     /// `scratch`.
     spare_buffers: Vec<Vec<Op>>,
+    /// Optional per-batch metrics consumer (see [`Engine::set_sink`]).
+    /// Sinks observe, never steer: no sink call can change what the
+    /// engine allocates, so results stay bit-identical with or without
+    /// one attached.
+    sink: Option<Box<dyn MetricsSink + Send>>,
+    /// Construction instant — the monotonic anchor every
+    /// [`MetricRecord::at`] offset is measured from.
+    started: Instant,
+    /// Records emitted so far; the next record's sequence number.
+    emitted: u64,
+}
+
+impl<S: fmt::Debug> fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("shards", &self.shards)
+            .field("pool", &self.pool)
+            .field("sink", &self.sink.is_some())
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Counts the op kinds in a batch — the record's pre-apply op mix.
+fn op_mix(ops: &[Op]) -> (u32, u32, u32) {
+    let (mut inserts, mut deletes, mut lookups) = (0u32, 0u32, 0u32);
+    for op in ops {
+        match op {
+            Op::Insert(_) => inserts += 1,
+            Op::Delete(_) => deletes += 1,
+            Op::Lookup(_) => lookups += 1,
+        }
+    }
+    (inserts, deletes, lookups)
+}
+
+/// Producer-side half of a pipelined batch measurement: everything known
+/// at ship time, joined with the worker-side apply latency at stream end.
+struct PendingShip {
+    at: Duration,
+    ops: u32,
+    inserts: u32,
+    deletes: u32,
+    lookups: u32,
+    stalls: u32,
+    stalled: Duration,
+    occupancy: u32,
 }
 
 impl Engine<AnyScheme> {
@@ -354,7 +431,37 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             scratch: Vec::new(),
             replay_buf: Vec::new(),
             spare_buffers: Vec::new(),
+            sink: None,
+            started: Instant::now(),
+            emitted: 0,
         }
+    }
+
+    /// Attaches a metrics sink: every subsequently applied batch emits
+    /// one [`MetricRecord`] into it (phased batches as they apply;
+    /// pipelined batches when their stream drains — the two halves of a
+    /// pipelined measurement live on different threads and join at end
+    /// of stream). Replaces — after flushing — any sink already
+    /// attached. Sinks only observe, so attaching one never changes
+    /// allocation results.
+    pub fn set_sink(&mut self, sink: Box<dyn MetricsSink + Send>) {
+        if let Some(mut old) = self.sink.replace(sink) {
+            old.finish();
+        }
+    }
+
+    /// Detaches the sink, flushing it first (so e.g. a
+    /// [`JsonLinesExporter`](crate::JsonLinesExporter) writes its final
+    /// partial window). Returns `None` if no sink was attached.
+    pub fn take_sink(&mut self) -> Option<Box<dyn MetricsSink + Send>> {
+        let mut sink = self.sink.take()?;
+        sink.finish();
+        Some(sink)
+    }
+
+    /// Whether a metrics sink is currently attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// The engine's configuration.
@@ -422,7 +529,42 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// Partitioning is stable: two ops on the same key always reach the
     /// same shard in their batch order, so insert-then-delete sequences
     /// behave as written even when shards run on different threads.
+    ///
+    /// With a sink attached (see [`Engine::set_sink`]) each call also
+    /// emits one engine-wide [`MetricRecord`] (`shard: None`; queue
+    /// fields zero — phased batches never touch the bounded queues).
     pub fn apply_batch(&mut self, ops: &[Op]) -> BatchSummary {
+        // Take the sink out for the duration so the inner path borrows
+        // `self` freely; restore it afterwards.
+        let Some(mut sink) = self.sink.take() else {
+            return self.apply_batch_inner(ops);
+        };
+        let at = self.started.elapsed();
+        let t0 = Instant::now();
+        let summary = self.apply_batch_inner(ops);
+        let apply = t0.elapsed();
+        let (inserts, deletes, lookups) = op_mix(ops);
+        let record = MetricRecord {
+            seq: self.emitted,
+            at,
+            shard: None,
+            ops: ops.len() as u32,
+            inserts,
+            deletes,
+            lookups,
+            apply,
+            queue_occupancy: 0,
+            stalls: 0,
+            stalled: Duration::ZERO,
+        };
+        self.emitted += 1;
+        sink.record(&record);
+        self.sink = Some(sink);
+        summary
+    }
+
+    /// The sink-free batch application path shared by every worker mode.
+    fn apply_batch_inner(&mut self, ops: &[Op]) -> BatchSummary {
         let mut total = BatchSummary::default();
         if self.shards.len() == 1 {
             // One shard: everything routes to it — apply the batch slice
@@ -487,12 +629,12 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
                     }
                     // A recv error means the worker dropped its sender
                     // without replying — it panicked mid-apply.
-                    let (shard, summary, buf) = pool.results[id]
+                    let done = pool.results[id]
                         .recv()
                         .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
-                    self.shards[id] = Some(shard);
-                    self.scratch[id] = buf;
-                    total.absorb(&summary);
+                    self.shards[id] = Some(done.shard);
+                    self.scratch[id] = done.buffer;
+                    total.absorb(&done.summary);
                 }
             }
         }
@@ -602,6 +744,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(queue_depth > 0, "queue depth must be positive");
         let shards = self.shards.len();
+        let track = self.sink.is_some();
         let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(shards));
         // Stage 0: ship every shard to its worker with a fresh bounded
         // batch queue and a recycle channel for drained buffers.
@@ -615,6 +758,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
                 shard,
                 batches: batch_rx,
                 recycle: recycle_tx,
+                track,
             };
             if pool.jobs[id].send(job).is_err() {
                 panic!("shard worker {id} exited early");
@@ -622,6 +766,31 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             batches.push(batch_tx);
             recycled.push(recycle_rx);
         }
+        // Producer-side measurement: one PendingShip per shipped batch,
+        // joined with its worker-side apply latency after the drain.
+        let started = self.started;
+        let mut pending: Vec<Vec<PendingShip>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut ship = |id: usize, full: Vec<Op>, batches: &[channel::Sender<Vec<Op>>]| {
+            if !track {
+                return batches[id].send(full).is_ok();
+            }
+            let (inserts, deletes, lookups) = op_mix(&full);
+            let ops = full.len() as u32;
+            let Ok(stalled) = batches[id].send_tracked(full) else {
+                return false;
+            };
+            pending[id].push(PendingShip {
+                at: started.elapsed(),
+                ops,
+                inserts,
+                deletes,
+                lookups,
+                stalls: u32::from(stalled > Duration::ZERO),
+                stalled,
+                occupancy: batches[id].queued() as u32,
+            });
+            true
+        };
         // Producer stage: route ops into per-shard filling buffers; a
         // full buffer ships into the bounded queue (blocking only when
         // the worker is queue_depth batches behind) and is replaced by a
@@ -645,7 +814,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             filling[id].push(op);
             if filling[id].len() == batch_size {
                 let full = std::mem::take(&mut filling[id]);
-                if batches[id].send(full).is_err() {
+                if !ship(id, full, &batches) {
                     panic!("shard worker {id} panicked");
                 }
                 filling[id] = recycled[id].try_recv().unwrap_or_else(|| grab(&mut spare));
@@ -654,20 +823,26 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         for (id, buf) in filling.into_iter().enumerate() {
             if buf.is_empty() {
                 spare.push(buf); // keep the capacity for the next call
-            } else if batches[id].send(buf).is_err() {
+            } else if !ship(id, buf, &batches) {
                 panic!("shard worker {id} panicked");
             }
         }
+        // `ship` borrowed `pending` mutably; past this point only the
+        // closure-free join below touches it.
+        #[allow(clippy::drop_non_drop)]
+        drop(ship);
         // Disconnect the batch queues: each worker drains what is queued,
         // then reports its shard and stream summary.
         drop(batches);
         let mut total = BatchSummary::default();
+        let mut applies: Vec<Vec<Duration>> = Vec::with_capacity(shards);
         for id in 0..shards {
-            let (shard, summary, _) = pool.results[id]
+            let done = pool.results[id]
                 .recv()
                 .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
-            self.shards[id] = Some(shard);
-            total.absorb(&summary);
+            self.shards[id] = Some(done.shard);
+            total.absorb(&done.summary);
+            applies.push(done.applies);
         }
         // Reclaim every buffer the workers drained after the producer
         // stopped picking them up; the next serve_pipelined call starts
@@ -678,6 +853,37 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             }
         }
         self.spare_buffers = spare;
+        // Join the producer-side ship records with the worker-side apply
+        // latencies (same per-shard batch order on both sides), then
+        // emit the stream's records in ship-time order.
+        if let Some(mut sink) = self.sink.take() {
+            let mut records = Vec::new();
+            for (id, (ships, shard_applies)) in pending.into_iter().zip(applies).enumerate() {
+                debug_assert_eq!(ships.len(), shard_applies.len(), "shard {id} batch count");
+                for (ship, apply) in ships.into_iter().zip(shard_applies) {
+                    records.push(MetricRecord {
+                        seq: 0, // assigned below, in ship-time order
+                        at: ship.at,
+                        shard: Some(id),
+                        ops: ship.ops,
+                        inserts: ship.inserts,
+                        deletes: ship.deletes,
+                        lookups: ship.lookups,
+                        apply,
+                        queue_occupancy: ship.occupancy,
+                        stalls: ship.stalls,
+                        stalled: ship.stalled,
+                    });
+                }
+            }
+            records.sort_by_key(|r| (r.at, r.shard));
+            for mut record in records {
+                record.seq = self.emitted;
+                self.emitted += 1;
+                sink.record(&record);
+            }
+            self.sink = Some(sink);
+        }
         total
     }
 
@@ -701,6 +907,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::SharedSink;
     use ba_core::{run_process, run_process_keys};
     use ba_hash::{ChoiceSource, DoubleHashing};
     use ba_rng::SeedSequence;
@@ -1094,5 +1301,86 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         engine(2, WorkerMode::Sequential).serve(&[Op::Insert(1)], 0);
+    }
+
+    #[test]
+    fn sink_sees_every_phased_batch() {
+        let sink = SharedSink::new();
+        let mut eng = engine(4, WorkerMode::Persistent);
+        eng.set_sink(Box::new(sink.clone()));
+        assert!(eng.has_sink());
+        let ops = mixed_ops(2_000);
+        eng.serve(&ops, 512);
+        let records = sink.records();
+        assert_eq!(records.len(), 4, "3 full batches + 1 partial");
+        assert!(
+            records.iter().all(|r| r.shard.is_none()),
+            "phased: engine-wide"
+        );
+        assert_eq!(records.iter().map(|r| u64::from(r.ops)).sum::<u64>(), 2_000);
+        let mix: u64 = records
+            .iter()
+            .map(|r| u64::from(r.inserts + r.deletes + r.lookups))
+            .sum();
+        assert_eq!(mix, 2_000, "op mix must partition the batch");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert!(eng.take_sink().is_some());
+        assert!(!eng.has_sink());
+    }
+
+    #[test]
+    fn pipelined_sink_records_attribute_batches_to_shards() {
+        let sink = SharedSink::new();
+        let mut eng = engine(4, WorkerMode::Sequential);
+        eng.set_sink(Box::new(sink.clone()));
+        let ops = mixed_ops(4_000);
+        eng.serve_pipelined(ops.iter().copied(), 128, 2);
+        let records = sink.records();
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.shard.is_some()),
+            "pipelined: per shard"
+        );
+        assert_eq!(records.iter().map(|r| u64::from(r.ops)).sum::<u64>(), 4_000);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "sequence numbers must be dense");
+        }
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].at <= pair[1].at,
+                "records must be ship-time ordered"
+            );
+        }
+        // Both halves of the join landed: ship-side occupancy is bounded
+        // by the queue depth, worker-side applies were all measured.
+        assert!(records.iter().all(|r| r.queue_occupancy <= 2));
+    }
+
+    #[test]
+    fn attaching_a_sink_never_changes_results() {
+        // The bit-identity acceptance contract at the unit level: serving
+        // with a sink attached yields the same summary, stats, and loads
+        // as serving without one, on both ingestion paths.
+        let ops = mixed_ops(8_000);
+        let mut plain = engine(4, WorkerMode::Persistent);
+        let expected = plain.serve(&ops, 1_024);
+        for pipelined in [false, true] {
+            let mut observed = engine(4, WorkerMode::Persistent);
+            observed.set_sink(Box::new(SharedSink::new()));
+            let got = if pipelined {
+                observed.serve_pipelined(ops.iter().copied(), 256, 2)
+            } else {
+                observed.serve(&ops, 1_024)
+            };
+            assert_eq!(got, expected, "pipelined={pipelined}");
+            assert!(
+                observed.stats().matches(&plain.stats()),
+                "pipelined={pipelined}"
+            );
+            for (a, b) in observed.shards().iter().zip(plain.shards()) {
+                assert_eq!(a.allocation().loads(), b.allocation().loads());
+            }
+        }
     }
 }

@@ -47,7 +47,17 @@
 //! * **Metrics** — [`EngineStats`] snapshots per-shard load histograms
 //!   (via [`ba_stats::LoadHistogram`]), max loads, traffic counters, and
 //!   online per-op-kind load/probe percentiles
-//!   ([`OnlinePercentiles`]).
+//!   ([`OnlinePercentiles`]); snapshots from different engines (or
+//!   nodes) combine via [`EngineStats::merge`].
+//! * **Telemetry** — attaching a [`MetricsSink`] via [`Engine::set_sink`]
+//!   emits one [`MetricRecord`] per applied batch (size, op mix, apply
+//!   latency, and — on the pipelined path — bounded-queue occupancy and
+//!   backpressure stall count/duration). [`WindowedAggregator`] rolls
+//!   records into per-window summaries whose distributions are
+//!   bounded-memory [`ba_stats::HistogramSketch`]es, and
+//!   [`JsonLinesExporter`] streams one JSON line per closed window.
+//!   Sinks observe, never steer: results stay bit-identical with or
+//!   without one attached.
 //!
 //! # Example
 //!
@@ -73,8 +83,12 @@ mod engine;
 mod metrics;
 mod op;
 mod shard;
+mod sink;
 
 pub use engine::{route, ChoiceMode, Engine, EngineConfig, IngestMode, WorkerMode};
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
 pub use shard::Shard;
+pub use sink::{
+    JsonLinesExporter, MetricRecord, MetricsSink, SharedSink, WindowSummary, WindowedAggregator,
+};

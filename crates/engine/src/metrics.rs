@@ -2,7 +2,7 @@
 
 use crate::op::BatchSummary;
 use ba_core::Allocation;
-use ba_stats::{format_fraction, LoadHistogram, Table};
+use ba_stats::{format_fraction, HistogramSketch, LoadHistogram, Table};
 
 /// An online tracker of small non-negative integer observations: an exact
 /// count-per-value histogram.
@@ -116,6 +116,19 @@ impl OnlinePercentiles {
             *slot += count;
         }
         self.total += other.total;
+    }
+
+    /// Converts this exact tracker into a bounded-memory
+    /// [`HistogramSketch`] with unit-width integer bins covering the
+    /// observed range — the export shape for mergeable telemetry. On
+    /// unit bins the sketch's percentiles equal this tracker's exactly
+    /// (the tracker is the sketch's test oracle).
+    pub fn to_sketch(&self) -> HistogramSketch {
+        let mut sketch = HistogramSketch::unit_bins(self.max().max(1));
+        for (value, &count) in self.counts.iter().enumerate() {
+            sketch.record_n(value as f64, count);
+        }
+        sketch
     }
 }
 
@@ -258,48 +271,90 @@ impl EngineStats {
     /// per mismatch (shard count, per-shard bins/balls/max load, load
     /// histograms, lifetime traffic, per-op observations). Empty means the
     /// snapshots are bit-identical.
+    ///
+    /// Output order is deterministic — sorted by shard index, then metric
+    /// name — so differential-run diffs in CI are stable across runs and
+    /// code motion.
     pub fn divergences(&self, other: &EngineStats) -> Vec<String> {
-        let mut out = Vec::new();
         if self.shards.len() != other.shards.len() {
-            out.push(format!(
+            return vec![format!(
                 "shard count differs: {} vs {}",
                 self.shards.len(),
                 other.shards.len()
-            ));
-            return out;
+            )];
         }
+        // (shard index, metric name, line); sorted before rendering so
+        // the emitted order never depends on field declaration order.
+        let mut entries: Vec<(usize, &'static str, String)> = Vec::new();
         for (a, b) in self.shards.iter().zip(&other.shards) {
             let id = a.shard;
             if a.shard != b.shard {
-                out.push(format!("shard ids differ: {} vs {}", a.shard, b.shard));
+                entries.push((
+                    id,
+                    "id",
+                    format!("shard ids differ: {} vs {}", a.shard, b.shard),
+                ));
                 continue;
             }
-            if a.bins != b.bins {
-                out.push(format!("shard {id}: bins {} vs {}", a.bins, b.bins));
-            }
             if a.balls != b.balls {
-                out.push(format!("shard {id}: balls {} vs {}", a.balls, b.balls));
+                entries.push((
+                    id,
+                    "balls",
+                    format!("shard {id}: balls {} vs {}", a.balls, b.balls),
+                ));
             }
-            if a.max_load != b.max_load {
-                out.push(format!(
-                    "shard {id}: max load {} vs {}",
-                    a.max_load, b.max_load
+            if a.bins != b.bins {
+                entries.push((
+                    id,
+                    "bins",
+                    format!("shard {id}: bins {} vs {}", a.bins, b.bins),
                 ));
             }
             if a.histogram.counts() != b.histogram.counts() {
-                out.push(format!("shard {id}: load histograms differ"));
+                entries.push((
+                    id,
+                    "histogram",
+                    format!("shard {id}: load histograms differ"),
+                ));
             }
-            if a.traffic != b.traffic {
-                out.push(format!(
-                    "shard {id}: traffic {:?} vs {:?}",
-                    a.traffic, b.traffic
+            if a.max_load != b.max_load {
+                entries.push((
+                    id,
+                    "max load",
+                    format!("shard {id}: max load {} vs {}", a.max_load, b.max_load),
                 ));
             }
             if a.observed != b.observed {
-                out.push(format!("shard {id}: per-op observations differ"));
+                entries.push((
+                    id,
+                    "observations",
+                    format!("shard {id}: per-op observations differ"),
+                ));
+            }
+            if a.traffic != b.traffic {
+                entries.push((
+                    id,
+                    "traffic",
+                    format!("shard {id}: traffic {:?} vs {:?}", a.traffic, b.traffic),
+                ));
             }
         }
-        out
+        entries.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(y.1)));
+        entries.into_iter().map(|(_, _, line)| line).collect()
+    }
+
+    /// Merges another engine's snapshot into this one — the cross-engine
+    /// / cross-node aggregation path. Shard snapshots are appended with
+    /// their ids intact and re-sorted by shard index (stable), so
+    /// splitting one engine's shards across several [`EngineStats`] and
+    /// merging reproduces the single-engine snapshot exactly, and every
+    /// aggregate ([`EngineStats::total_balls`],
+    /// [`EngineStats::merged_observations`], …) sums over all
+    /// constituents. Shards from *different* engines sharing an id stay
+    /// as separate snapshots (aggregates still sum across them).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.shards.extend(other.shards.iter().cloned());
+        self.shards.sort_by_key(|s| s.shard);
     }
 
     /// Whether this snapshot is bit-identical to `other`
@@ -560,5 +615,134 @@ mod tests {
         let diffs = a.divergences(&b);
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].contains("shard count"), "{diffs:?}");
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_is_identity() {
+        let mut populated = OnlinePercentiles::new();
+        for v in [2u32, 5, 5, 9] {
+            populated.record(v);
+        }
+        let reference = populated.clone();
+        populated.merge(&OnlinePercentiles::new());
+        assert_eq!(populated, reference);
+        assert_eq!(populated.count(), 4);
+        assert_eq!(populated.percentile(50.0), 5);
+    }
+
+    #[test]
+    fn merge_nonempty_into_empty_copies_everything() {
+        let mut populated = OnlinePercentiles::new();
+        for v in [0u32, 3, 3, 7] {
+            populated.record(v);
+        }
+        let mut empty = OnlinePercentiles::new();
+        empty.merge(&populated);
+        assert_eq!(empty, populated);
+        assert_eq!(empty.max(), 7);
+        assert_eq!(empty.counts().len(), populated.counts().len());
+    }
+
+    #[test]
+    fn merge_differing_counts_lengths_both_directions() {
+        // Short-into-long must not truncate; long-into-short must grow.
+        let mut short = OnlinePercentiles::new();
+        short.record(1);
+        let mut long = OnlinePercentiles::new();
+        long.record(10);
+        long.record(2);
+
+        let mut a = short.clone();
+        a.merge(&long);
+        let mut b = long.clone();
+        b.merge(&short);
+        assert_eq!(a, b, "merge must commute on contents");
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 10);
+        assert_eq!(a.counts().len(), 11);
+        assert_eq!(a.percentile(100.0), 10);
+        assert_eq!(a.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn divergences_are_sorted_by_shard_then_metric() {
+        // Differences planted in every field of both shards must come out
+        // grouped by shard index with metric names alphabetical inside
+        // each group — the deterministic-ordering contract CI diffs rely
+        // on.
+        let a = stats();
+        let mut b = stats();
+        for shard in [1usize, 0] {
+            b.shards[shard].balls += 1;
+            b.shards[shard].max_load += 1;
+            b.shards[shard].traffic.inserts += 1;
+            b.shards[shard].observed.insert_load.record(3);
+        }
+        let diffs = a.divergences(&b);
+        let expected_prefixes = [
+            "shard 0: balls",
+            "shard 0: max load",
+            "shard 0: per-op observations",
+            "shard 0: traffic",
+            "shard 1: balls",
+            "shard 1: max load",
+            "shard 1: per-op observations",
+            "shard 1: traffic",
+        ];
+        assert_eq!(diffs.len(), expected_prefixes.len(), "{diffs:?}");
+        for (line, prefix) in diffs.iter().zip(expected_prefixes) {
+            assert!(line.starts_with(prefix), "{line:?} !~ {prefix:?}");
+        }
+    }
+
+    #[test]
+    fn engine_stats_merge_reassembles_a_split_snapshot() {
+        // The cross-node aggregation contract: splitting per-shard stats
+        // into two EngineStats and merging reproduces the whole, shard
+        // order restored by id.
+        let whole = stats();
+        let mut left = EngineStats::new(vec![whole.shards()[1].clone()]);
+        let right = EngineStats::new(vec![whole.shards()[0].clone()]);
+        left.merge(&right);
+        assert!(left.matches(&whole), "{:?}", left.divergences(&whole));
+        assert_eq!(left.total_balls(), whole.total_balls());
+        assert_eq!(
+            left.merged_observations().insert_load.counts(),
+            whole.merged_observations().insert_load.counts()
+        );
+    }
+
+    #[test]
+    fn engine_stats_merge_keeps_duplicate_ids_as_separate_snapshots() {
+        // Two engines can both have a shard 0; aggregates must sum over
+        // both rather than collapse them.
+        let mut a = stats();
+        let b = stats();
+        let before = a.total_balls();
+        a.merge(&b);
+        assert_eq!(a.shards().len(), 4);
+        assert_eq!(a.total_balls(), 2 * before);
+        let ids: Vec<usize> = a.shards().iter().map(|s| s.shard).collect();
+        assert_eq!(ids, vec![0, 0, 1, 1], "sorted by shard id");
+    }
+
+    #[test]
+    fn to_sketch_percentiles_match_the_exact_tracker() {
+        let mut tracker = OnlinePercentiles::new();
+        for i in 0..500u32 {
+            tracker.record((i * 13) % 23);
+        }
+        let sketch = tracker.to_sketch();
+        assert_eq!(sketch.count(), tracker.count());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(
+                sketch.percentile(p),
+                f64::from(tracker.percentile(p)),
+                "p{p}: unit-bin sketch must be exact"
+            );
+        }
+        assert_eq!(sketch.max(), f64::from(tracker.max()));
+        // An empty tracker still converts (degenerate single-bin sketch).
+        assert!(OnlinePercentiles::new().to_sketch().is_empty());
     }
 }

@@ -14,6 +14,14 @@
 //! * [`two_proportion_z`], [`chi_square_statistic`] — comparison tests;
 //! * [`ks_statistic`], [`quantile`] — whole-distribution comparisons;
 //! * [`Table`] — plain-text table rendering for the harness output.
+//!
+//! For long-running telemetry the crate also provides:
+//!
+//! * [`HistogramSketch`] — a mergeable bounded-memory quantile summary
+//!   over configurable bin edges, with percentile error bounded by one
+//!   bin width;
+//! * [`json`] — the minimal JSON writer shared by the bench trajectory
+//!   files and the engine's metrics exporter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +29,14 @@
 mod compare;
 mod distribution;
 mod histogram;
+pub mod json;
+mod sketch;
 mod table;
 mod welford;
 
 pub use compare::{chi_square_statistic, two_proportion_z, welch_t};
 pub use distribution::{ks_critical_value, ks_statistic, quantile};
 pub use histogram::{LoadHistogram, LoadSummary, TrialAccumulator};
+pub use sketch::HistogramSketch;
 pub use table::{format_fraction, Table};
 pub use welford::Welford;

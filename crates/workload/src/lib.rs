@@ -262,6 +262,30 @@ pub fn run_scenario(
     Some(drive(&mut engine, workload.as_mut(), total_ops, batch_size))
 }
 
+/// [`run_scenario`] with a metrics sink attached to the engine for the
+/// duration of the drive: every applied batch emits one
+/// [`ba_engine::MetricRecord`] into `sink` (see
+/// [`ba_engine::Engine::set_sink`]), and the sink is flushed before the
+/// report returns. Attaching a sink never changes allocation results —
+/// the report is bit-identical to the sink-free run.
+pub fn run_scenario_with_sink(
+    scheme: &str,
+    scenario: &Scenario,
+    config: EngineConfig,
+    keyspace: u64,
+    total_ops: u64,
+    batch_size: usize,
+    sink: Box<dyn ba_engine::MetricsSink + Send>,
+) -> Option<DriveReport> {
+    let seed = config.seed;
+    let mut engine: Engine<AnyScheme> = Engine::by_name(scheme, config)?;
+    engine.set_sink(sink);
+    let mut workload = scenario.build(keyspace, seed);
+    let report = drive(&mut engine, workload.as_mut(), total_ops, batch_size);
+    engine.take_sink(); // flush (e.g. an exporter's final partial window)
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +542,53 @@ mod tests {
             "fixed-probe attack blew up max load: {}",
             report.stats.max_load()
         );
+    }
+
+    #[test]
+    fn run_scenario_with_sink_matches_plain_run() {
+        // Observability must be free: same summary/stats as the sink-free
+        // run, with every served op accounted for in the records — on
+        // both ingestion paths.
+        use ba_engine::SharedSink;
+        for pipelined in [false, true] {
+            let cfg = || {
+                let c = EngineConfig::new(4, 256, 3).seed(21);
+                if pipelined {
+                    c.pipelined(2)
+                } else {
+                    c
+                }
+            };
+            let plain =
+                run_scenario("double", &Scenario::Uniform, cfg(), 1 << 12, 10_000, 512).unwrap();
+            let sink = SharedSink::new();
+            let observed = run_scenario_with_sink(
+                "double",
+                &Scenario::Uniform,
+                cfg(),
+                1 << 12,
+                10_000,
+                512,
+                Box::new(sink.clone()),
+            )
+            .unwrap();
+            assert_eq!(observed.summary, plain.summary, "pipelined={pipelined}");
+            assert!(
+                observed.stats.matches(&plain.stats),
+                "pipelined={pipelined}"
+            );
+            let records = sink.records();
+            assert_eq!(
+                records.iter().map(|r| u64::from(r.ops)).sum::<u64>(),
+                10_000,
+                "pipelined={pipelined}"
+            );
+            assert_eq!(
+                records.iter().all(|r| r.shard.is_some()),
+                pipelined,
+                "shard attribution follows the ingest mode"
+            );
+        }
     }
 
     #[test]

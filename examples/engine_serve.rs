@@ -8,17 +8,62 @@
 //! both choice modes.
 //!
 //! ```text
-//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined]
+//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined] [metrics[=PATH]]
 //! # scheme: random | double | blocks | one | ... (default: compares random vs double)
 //! # keyed: derive choices from hash(key, shard_salt) so re-inserts replay
 //! #        their f + k·g probe sequences (default: stream)
 //! # pipelined: overlap workload generation with shard application through
 //! #            bounded per-worker queues (default: phased generate/apply)
+//! # metrics: stream live windowed unit-of-work metrics (batch latency,
+//! #          queue occupancy, backpressure stalls) as JSON lines to
+//! #          stderr, or append them to PATH with metrics=PATH; results
+//! #          are bit-identical with or without the exporter attached
 //! ```
 
 use balanced_allocations::prelude::*;
+use std::io::Write;
+use std::time::Duration;
 
-fn serve_suite(scheme: &str, shards: usize, total_ops: u64, mode: ChoiceMode, ingest: IngestMode) {
+/// Where the live metrics stream goes, if anywhere.
+#[derive(Clone, PartialEq)]
+enum MetricsOut {
+    Off,
+    Stderr,
+    File(String),
+}
+
+impl MetricsOut {
+    /// Builds one JSON-lines exporter for a single scenario run (file
+    /// targets append, so every scenario's windows land in one log).
+    fn exporter(&self) -> Option<Box<dyn MetricsSink + Send>> {
+        let window = Duration::from_millis(25);
+        match self {
+            MetricsOut::Off => None,
+            MetricsOut::Stderr => Some(Box::new(JsonLinesExporter::stderr(window))),
+            MetricsOut::File(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open metrics file {path}: {e}");
+                        std::process::exit(1);
+                    });
+                let writer: Box<dyn Write + Send> = Box::new(file);
+                Some(Box::new(JsonLinesExporter::new(writer, window)))
+            }
+        }
+    }
+}
+
+fn serve_suite(
+    scheme: &str,
+    shards: usize,
+    total_ops: u64,
+    mode: ChoiceMode,
+    ingest: IngestMode,
+    metrics: &MetricsOut,
+) {
     let bins_per_shard = 1u64 << 12;
     let keyspace = bins_per_shard * shards as u64;
     println!(
@@ -29,8 +74,13 @@ fn serve_suite(scheme: &str, shards: usize, total_ops: u64, mode: ChoiceMode, in
             .seed(2014)
             .mode(mode)
             .ingest(ingest);
-        let report = run_scenario(scheme, &scenario, config, keyspace, total_ops, 4096)
-            .expect("scheme validated in main");
+        let report = match metrics.exporter() {
+            Some(sink) => {
+                run_scenario_with_sink(scheme, &scenario, config, keyspace, total_ops, 4096, sink)
+            }
+            None => run_scenario(scheme, &scenario, config, keyspace, total_ops, 4096),
+        }
+        .expect("scheme validated in main");
         println!(
             "--- {} ({:.2} M ops/s) ---",
             report.scenario,
@@ -61,6 +111,20 @@ fn main() {
         }
         None => IngestMode::Phased,
     };
+    // A `metrics` or `metrics=PATH` token turns on the live exporter.
+    let metrics = match args
+        .iter()
+        .position(|a| a == "metrics" || a.starts_with("metrics="))
+    {
+        Some(idx) => {
+            let token = args.remove(idx);
+            match token.strip_prefix("metrics=") {
+                Some(path) if !path.is_empty() => MetricsOut::File(path.to_string()),
+                _ => MetricsOut::Stderr,
+            }
+        }
+        None => MetricsOut::Off,
+    };
     // A numeric first argument means the scheme was omitted: keep the
     // default two-scheme comparison and read [shards] [ops] from there.
     let (schemes, rest): (Vec<String>, &[String]) = match args.first() {
@@ -79,6 +143,6 @@ fn main() {
     let shards: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let total_ops: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
     for scheme in &schemes {
-        serve_suite(scheme, shards, total_ops, mode, ingest);
+        serve_suite(scheme, shards, total_ops, mode, ingest, &metrics);
     }
 }

@@ -367,3 +367,92 @@ fn facade_prelude_serves_engine_types() {
     let stats: EngineStats = engine.stats();
     assert_eq!(stats.total_balls(), 0);
 }
+
+/// A scheme whose every placement naps, so pipelined shard workers
+/// drain their queues slowly — the lever the stall-accounting tests
+/// use to force real backpressure without racing the scheduler.
+#[derive(Debug, Clone)]
+struct Sluggish {
+    n: u64,
+    nap: std::time::Duration,
+}
+
+impl ChoiceScheme for Sluggish {
+    fn n(&self) -> u64 {
+        self.n
+    }
+    fn d(&self) -> usize {
+        1
+    }
+    fn fill_choices(&self, rng: &mut dyn Rng64, out: &mut [u64]) {
+        std::thread::sleep(self.nap);
+        out[0] = rng.gen_range(self.n);
+    }
+}
+
+/// Serves `ops` inserts through a single slow shard with the given
+/// queue depth and returns the per-batch metric records.
+fn slow_pipelined_records(total_ops: u64, batch: usize, depth: usize) -> Vec<MetricRecord> {
+    let cfg = config(1, 64, 1, 7);
+    let mut engine = Engine::with_scheme_factory(cfg, |_| Sluggish {
+        n: 64,
+        nap: std::time::Duration::from_micros(200),
+    });
+    let sink = SharedSink::new();
+    engine.set_sink(Box::new(sink.clone()));
+    engine.serve_pipelined((0..total_ops).map(Op::Insert), batch, depth);
+    engine.take_sink();
+    sink.records()
+}
+
+#[test]
+fn tiny_queue_depth_records_backpressure_stalls() {
+    // Eight batches into a depth-1 queue whose worker needs ~6ms per
+    // batch: the producer must block on at least one send, and the
+    // sink's stall accounting has to say so.
+    let records = slow_pipelined_records(256, 32, 1);
+    assert_eq!(records.len(), 8, "one record per shipped batch");
+    assert!(records.iter().all(|r| r.shard == Some(0)));
+    let stalls: u32 = records.iter().map(|r| r.stalls).sum();
+    assert!(
+        stalls > 0,
+        "depth-1 queue behind a slow worker never stalled"
+    );
+    let stalled: std::time::Duration = records.iter().map(|r| r.stalled).sum();
+    assert!(stalled > std::time::Duration::ZERO);
+    // Occupancy is bounded by the queue depth at every observation.
+    assert!(records.iter().all(|r| r.queue_occupancy <= 1));
+}
+
+#[test]
+fn ample_queue_depth_records_zero_stalls() {
+    // With queue depth comfortably above the total batch count the
+    // producer can never block, however slow the worker: stall counts
+    // must be exactly zero, not merely small.
+    let records = slow_pipelined_records(256, 32, 64);
+    assert_eq!(records.len(), 8);
+    assert!(records.iter().all(|r| r.stalls == 0), "{records:?}");
+    assert!(records
+        .iter()
+        .all(|r| r.stalled == std::time::Duration::ZERO));
+}
+
+#[test]
+fn phased_ingestion_records_no_queue_pressure() {
+    // Phased serving has no queues at all: every record is engine-wide
+    // (shard None) with zeroed stall and occupancy fields.
+    let mut engine = Engine::by_name("double", config(4, 128, 3, 7)).unwrap();
+    let sink = SharedSink::new();
+    engine.set_sink(Box::new(sink.clone()));
+    let ops: Vec<Op> = (0..2_000u64).map(Op::Insert).collect();
+    engine.serve(&ops, 256);
+    engine.take_sink();
+    let records = sink.records();
+    assert_eq!(records.len(), 8);
+    for r in &records {
+        assert_eq!(r.shard, None);
+        assert_eq!(r.stalls, 0);
+        assert_eq!(r.stalled, std::time::Duration::ZERO);
+        assert_eq!(r.queue_occupancy, 0);
+    }
+}
