@@ -27,8 +27,9 @@ fn usage() -> String {
          --full       paper-scale sizes for table8 (n=2^14, 10^4 s horizon)\n\
          \n\
          pipeline-gate compares two BENCH_pipeline.json files and fails if any\n\
-         candidate cell is >{:.0}% slower than its baseline, missing, or no\n\
-         longer bit-identical.",
+         candidate cell is >{:.0}% slower than its baseline, missing, extra, or no\n\
+         longer bit-identical; on hosts wide enough to overlap shards and\n\
+         producers it also enforces the 2x multi-producer speedup floor.",
         names.join(", "),
         GATE_TOLERANCE * 100.0
     )

@@ -147,9 +147,12 @@ impl<T> Sender<T> {
     }
 
     /// How many values sit queued right now — a point-in-time occupancy
-    /// sample (racy by nature: the receiver may drain concurrently). The
-    /// pipelined producer samples this after each shipped batch to report
-    /// queue-occupancy telemetry.
+    /// sample (racy by nature: the receiver may drain concurrently).
+    /// The pipelined hot path moved to `crate::spsc` rings (whose
+    /// producer mirrors this method), so no production caller remains;
+    /// kept as part of the channel's sender API, exercised by this
+    /// module's tests.
+    #[allow(dead_code)]
     pub fn queued(&self) -> usize {
         self.inner
             .state

@@ -5,6 +5,7 @@ use crate::metrics::{EngineStats, ShardStats};
 use crate::op::{BatchSummary, Op};
 use crate::shard::Shard;
 use crate::sink::{MetricRecord, MetricsSink};
+use crate::spsc;
 use ba_core::TieBreak;
 use ba_hash::{AnyScheme, ChoiceScheme};
 use ba_rng::RngKind;
@@ -38,18 +39,28 @@ pub enum IngestMode {
     /// versa.
     #[default]
     Phased,
-    /// Overlap production with application: a producer stage partitions
-    /// the op stream and ships per-shard batches into bounded per-worker
-    /// queues (the in-repo channel's `bounded(cap)` flavour) while the
-    /// persistent workers apply earlier batches. `queue_depth` caps how
-    /// many batches may sit queued per worker; a full queue blocks the
-    /// producer (backpressure) rather than buffering without limit.
+    /// Overlap production with application: one or more producer stages
+    /// partition the op stream and ship per-shard batches into bounded
+    /// lock-free SPSC rings (see [`crate::spsc`]) while the persistent
+    /// workers apply earlier batches. `queue_depth` caps how many
+    /// batches may sit queued per (producer, shard) ring; a full ring
+    /// blocks that producer (backpressure) rather than buffering without
+    /// limit. With `producers > 1`, chunks of the stream are routed by
+    /// producer threads in deterministic round-robin and every shard
+    /// worker merges its per-producer rings in (producer, seq) order, so
+    /// results stay bit-identical to sequential serving regardless of
+    /// producer count or timing.
     Pipelined {
-        /// Maximum batches queued per shard worker before the producer
-        /// blocks. Depth 1 is a strict double-buffer (worker applies
-        /// batch `k` while the producer fills `k+1`); larger depths
-        /// absorb burstier routing at the cost of memory.
+        /// Maximum batches queued per (producer, shard) ring before the
+        /// producer blocks. Must be a power of two (ring granularity).
+        /// Depth 1 is a strict double-buffer (worker applies batch `k`
+        /// while the producer fills `k+1`); larger depths absorb
+        /// burstier routing at the cost of memory.
         queue_depth: usize,
+        /// Number of producer threads routing the op stream. 1 routes on
+        /// the calling thread (no fan-out stage); `N > 1` spawns N
+        /// routing threads fed round-robin with stream chunks.
+        producers: usize,
     },
 }
 
@@ -158,9 +169,20 @@ impl EngineConfig {
     }
 
     /// Selects pipelined ingestion with the given per-worker queue depth
+    /// and a single producer routing on the calling thread
     /// (see [`IngestMode::Pipelined`]).
     pub fn pipelined(self, queue_depth: usize) -> Self {
-        self.ingest(IngestMode::Pipelined { queue_depth })
+        self.pipelined_producers(queue_depth, 1)
+    }
+
+    /// Selects pipelined ingestion with `producers` routing threads and
+    /// the given per-(producer, shard) ring depth
+    /// (see [`IngestMode::Pipelined`]).
+    pub fn pipelined_producers(self, queue_depth: usize, producers: usize) -> Self {
+        self.ingest(IngestMode::Pipelined {
+            queue_depth,
+            producers,
+        })
     }
 }
 
@@ -171,6 +193,17 @@ impl EngineConfig {
 pub fn route(key: u64, shards: usize) -> usize {
     let mixed = ba_rng::SplitMix64::mix(key ^ 0x9E6C_63D0_876A_3F6B);
     ((mixed as u128 * shards as u128) >> 64) as usize
+}
+
+/// One shipped unit on the pipelined hot path: the ops a producer routed
+/// to one shard from one stream chunk, stamped with the sequence number
+/// the worker's deterministic merge orders by. With a single producer,
+/// `seq` is the per-shard ship index; with N producers it is the global
+/// chunk index (chunk `k` is routed by producer `k % N`, so the worker's
+/// round-robin receive replays chunks in stream order).
+struct Batch {
+    seq: u64,
+    ops: Vec<Op>,
 }
 
 /// One unit of work for a persistent shard worker. The shard travels
@@ -188,17 +221,20 @@ enum Job<S> {
         ops: Vec<Op>,
     },
     /// Pipelined mode: own the shard for a whole ingestion stream,
-    /// applying batches as the producer ships them into the bounded
-    /// queue, until the producer disconnects. Drained op buffers return
-    /// through `recycle` so the producer refills them instead of
+    /// applying batches as the producers ship them into this shard's
+    /// SPSC rings, until every producer disconnects. Drained op buffers
+    /// return through `recycle` so producers refill them instead of
     /// allocating fresh ones.
     Stream {
         /// The worker's shard, shipped for the duration of the stream.
         shard: Shard<S>,
-        /// Bounded queue of op batches; disconnect ends the stream.
-        batches: channel::Receiver<Vec<Op>>,
-        /// Return path for drained op buffers.
-        recycle: channel::Sender<Vec<Op>>,
+        /// One bounded SPSC ring per producer; the worker merges them in
+        /// deterministic (producer, seq) round-robin order. Disconnect of
+        /// the ring whose turn it is ends the stream.
+        batches: Vec<spsc::RingConsumer<Batch>>,
+        /// Return paths for drained op buffers, indexed like `batches`
+        /// (each buffer goes home to the producer that filled it).
+        recycle: Vec<channel::Sender<Vec<Op>>>,
         /// Whether to time each batch apply for metrics (set only when a
         /// sink is attached, so untracked streams pay nothing).
         track: bool,
@@ -262,7 +298,28 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
                             } => {
                                 let mut summary = BatchSummary::default();
                                 let mut applies = Vec::new();
-                                while let Ok(mut ops) = batches.recv() {
+                                let producers = batches.len();
+                                // Deterministic cross-producer merge: chunk
+                                // `k` of the stream was routed by producer
+                                // `k % producers` and shipped with `seq = k`
+                                // (producers ship one batch per chunk per
+                                // shard, empty ones included), so receiving
+                                // in strict round-robin replays this shard's
+                                // ops in stream order. A disconnect at the
+                                // ring whose turn it is proves no later
+                                // chunk exists anywhere — producers ship
+                                // their chunks in order before exiting — so
+                                // the whole stream has drained.
+                                let mut chunk = 0usize;
+                                loop {
+                                    let p = chunk % producers;
+                                    let Ok(Batch { seq, mut ops }) = batches[p].recv() else {
+                                        break;
+                                    };
+                                    debug_assert_eq!(
+                                        seq as usize, chunk,
+                                        "cross-producer merge out of order"
+                                    );
                                     if track {
                                         let t0 = Instant::now();
                                         summary.absorb(&shard.apply(&ops));
@@ -274,7 +331,8 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
                                     // A recycle error means the producer is
                                     // gone (it panicked); keep draining so
                                     // the stream still ends cleanly.
-                                    let _ = recycle.send(ops);
+                                    let _ = recycle[p].send(ops);
+                                    chunk += 1;
                                 }
                                 JobDone {
                                     shard,
@@ -394,8 +452,16 @@ fn op_mix(ops: &[Op]) -> (u32, u32, u32) {
 
 /// Producer-side half of a pipelined batch measurement: everything known
 /// at ship time, joined with the worker-side apply latency at stream end.
+/// `(shard, chunk)` addresses the matching apply sample — `chunk` is the
+/// per-shard ship index under a single producer and the global chunk
+/// index under N producers; either way it equals the worker's receive
+/// index for that shard.
 struct PendingShip {
     at: Duration,
+    shard: usize,
+    chunk: u64,
+    producer: u32,
+    routed: Duration,
     ops: u32,
     inserts: u32,
     deletes: u32,
@@ -403,6 +469,136 @@ struct PendingShip {
     stalls: u32,
     stalled: Duration,
     occupancy: u32,
+}
+
+/// What one producer thread hands back after its slice of the stream is
+/// routed and shipped: its ship-side metric halves, its recycle receiver
+/// (drained into the engine's spare pool after the workers finish), its
+/// leftover buffers, and — if a ring send failed — the shard whose
+/// worker died, so the engine can surface that worker's panic.
+struct ProducerReport {
+    pending: Vec<PendingShip>,
+    recycle: channel::Receiver<Vec<Op>>,
+    spare: Vec<Vec<Op>>,
+    dead_shard: Option<usize>,
+}
+
+/// Grabs a cleared op buffer: recycled from a worker if one is waiting,
+/// a retained spare otherwise, a fresh allocation only during warm-up.
+fn grab_buffer(
+    spare: &mut Vec<Vec<Op>>,
+    recycle: &channel::Receiver<Vec<Op>>,
+    batch_size: usize,
+) -> Vec<Op> {
+    let mut buf = recycle
+        .try_recv()
+        .or_else(|| spare.pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.reserve(batch_size);
+    buf
+}
+
+/// The routing stage one producer thread runs under
+/// [`Engine::serve_pipelined_producers`] with `producers > 1`: receive
+/// `(chunk_index, ops)` chunks from the calling thread, route each chunk
+/// into per-shard buffers, and ship one [`Batch`] per shard per chunk —
+/// empty ones included, so every worker's (producer, seq) round-robin
+/// merge stays aligned with the chunk index.
+#[allow(clippy::too_many_arguments)]
+fn producer_stage(
+    producer: u32,
+    rings: Vec<spsc::RingProducer<Batch>>,
+    recycle: channel::Receiver<Vec<Op>>,
+    chunks: channel::Receiver<(u64, Vec<Op>)>,
+    chunks_back: channel::Sender<Vec<Op>>,
+    batch_size: usize,
+    started: Instant,
+    track: bool,
+) -> ProducerReport {
+    let shards = rings.len();
+    let mut pending = Vec::new();
+    let mut spare: Vec<Vec<Op>> = Vec::new();
+    let mut filling: Vec<Vec<Op>> = (0..shards)
+        .map(|_| grab_buffer(&mut spare, &recycle, batch_size))
+        .collect();
+    while let Ok((chunk, mut buf)) = chunks.recv() {
+        let route_t0 = track.then(Instant::now);
+        let chunk_ops = buf.len();
+        for &op in &buf {
+            filling[route(op.key(), shards)].push(op);
+        }
+        // Routing cost for the whole chunk; attributed to shipped
+        // batches below, proportionally to their share of the chunk.
+        let routed_chunk = route_t0.map(|t| t.elapsed()).unwrap_or_default();
+        buf.clear();
+        let _ = chunks_back.send(buf);
+        for (s, ring) in rings.iter().enumerate() {
+            let full = std::mem::replace(
+                &mut filling[s],
+                grab_buffer(&mut spare, &recycle, batch_size),
+            );
+            let batch_ops = full.len();
+            if !track {
+                if ring
+                    .send(Batch {
+                        seq: chunk,
+                        ops: full,
+                    })
+                    .is_err()
+                {
+                    return ProducerReport {
+                        pending,
+                        recycle,
+                        spare,
+                        dead_shard: Some(s),
+                    };
+                }
+                continue;
+            }
+            let (inserts, deletes, lookups) = op_mix(&full);
+            let Ok(stalled) = ring.send_tracked(Batch {
+                seq: chunk,
+                ops: full,
+            }) else {
+                return ProducerReport {
+                    pending,
+                    recycle,
+                    spare,
+                    dead_shard: Some(s),
+                };
+            };
+            let routed = if chunk_ops > 0 {
+                routed_chunk.mul_f64(batch_ops as f64 / chunk_ops as f64)
+            } else {
+                Duration::ZERO
+            };
+            pending.push(PendingShip {
+                at: started.elapsed(),
+                shard: s,
+                chunk,
+                producer,
+                routed,
+                ops: batch_ops as u32,
+                inserts,
+                deletes,
+                lookups,
+                stalls: u32::from(stalled > Duration::ZERO),
+                stalled,
+                occupancy: ring.queued() as u32,
+            });
+        }
+    }
+    // Chunk distribution disconnected: the stream is over. Every chunk
+    // shipped in full, so the filling buffers are all empty — keep their
+    // capacity. Dropping `rings` (by returning) disconnects the workers.
+    spare.extend(filling);
+    ProducerReport {
+        pending,
+        recycle,
+        spare,
+        dead_shard: None,
+    }
 }
 
 impl Engine<AnyScheme> {
@@ -548,11 +744,13 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             seq: self.emitted,
             at,
             shard: None,
+            producer: 0,
             ops: ops.len() as u32,
             inserts,
             deletes,
             lookups,
             apply,
+            routed: Duration::ZERO,
             queue_occupancy: 0,
             stalls: 0,
             stalled: Duration::ZERO,
@@ -673,14 +871,18 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         batch_size: usize,
     ) -> BatchSummary {
         assert!(batch_size > 0, "batch size must be positive");
-        if let IngestMode::Pipelined { queue_depth } = self.config.ingest {
+        if let IngestMode::Pipelined {
+            queue_depth,
+            producers,
+        } = self.config.ingest
+        {
             // `batch_size` keeps its phased meaning — ops per engine-wide
             // batch — so the ingest axis never changes per-worker message
             // granularity: each shard sees ~batch_size/shards ops per
             // batch under either mode, and a phased-vs-pipelined
             // comparison at the same `batch_size` isolates the overlap.
             let per_shard = (batch_size / self.shards.len()).max(1);
-            return self.serve_pipelined(ops, per_shard, queue_depth);
+            return self.serve_pipelined_producers(ops, per_shard, queue_depth, producers);
         }
         let mut total = BatchSummary::default();
         let mut buf = std::mem::take(&mut self.replay_buf);
@@ -704,10 +906,10 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// Serves an op stream with production and application overlapped:
     /// the calling thread acts as the producer stage — routing each op
     /// into a per-shard buffer and shipping full buffers into that
-    /// shard's bounded queue — while every persistent worker applies
-    /// previously shipped batches concurrently. A queue at `queue_depth`
-    /// blocks the producer until its worker catches up (backpressure),
-    /// so memory stays bounded by
+    /// shard's bounded SPSC ring (see [`crate::spsc`]) — while every
+    /// persistent worker applies previously shipped batches
+    /// concurrently. A ring at `queue_depth` blocks the producer until
+    /// its worker catches up (backpressure), so memory stays bounded by
     /// `shards × (queue_depth + 2) × batch_size` ops regardless of
     /// stream length.
     ///
@@ -730,10 +932,14 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// use) regardless of [`EngineConfig::workers`], which only governs
     /// phased [`Engine::apply_batch`] application.
     ///
+    /// Equivalent to [`Engine::serve_pipelined_producers`] with a single
+    /// producer (no fan-out stage; routing stays on the calling thread).
+    ///
     /// # Panics
     ///
-    /// Panics if `batch_size` or `queue_depth` is zero, or if a shard
-    /// worker panics mid-stream (the worker's panic is surfaced, never a
+    /// Panics if `batch_size` is zero, if `queue_depth` is zero or not a
+    /// power of two (the ring's granularity), or if a shard worker
+    /// panics mid-stream (the worker's panic is surfaced, never a
     /// deadlock).
     pub fn serve_pipelined(
         &mut self,
@@ -741,23 +947,75 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         batch_size: usize,
         queue_depth: usize,
     ) -> BatchSummary {
+        self.serve_pipelined_producers(ops, batch_size, queue_depth, 1)
+    }
+
+    /// [`Engine::serve_pipelined`] with `producers` routing threads
+    /// between the calling thread and the shard workers.
+    ///
+    /// With `producers == 1` this is exactly [`Engine::serve_pipelined`]:
+    /// the calling thread routes and ships. With `N > 1` the calling
+    /// thread slices the stream into chunks of
+    /// `batch_size × shards` ops handed round-robin to N producer
+    /// threads (chunk `k` to producer `k % N`); each producer routes its
+    /// chunks into per-shard batches and ships them — stamped with the
+    /// chunk index as the sequence number — into its own SPSC ring per
+    /// shard. Every shard worker merges its N rings in deterministic
+    /// (producer, seq) round-robin order, which replays that shard's
+    /// routed subsequence exactly in stream order: placements, stats
+    /// percentiles, and summaries are bit-identical to sequential
+    /// serving regardless of producer count or thread timing.
+    ///
+    /// Memory stays bounded: `producers × shards × queue_depth` ring
+    /// slots plus two distribution chunks per producer.
+    ///
+    /// # Panics
+    ///
+    /// As [`Engine::serve_pipelined`], plus if `producers` is zero.
+    pub fn serve_pipelined_producers(
+        &mut self,
+        ops: impl IntoIterator<Item = Op>,
+        batch_size: usize,
+        queue_depth: usize,
+        producers: usize,
+    ) -> BatchSummary {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(queue_depth > 0, "queue depth must be positive");
+        assert!(
+            queue_depth.is_power_of_two(),
+            "queue depth must be a power of two (SPSC ring granularity), got {queue_depth}"
+        );
+        assert!(producers >= 1, "need at least one producer");
+        if producers == 1 {
+            self.pipeline_single(ops, batch_size, queue_depth)
+        } else {
+            self.pipeline_fanned(ops, batch_size, queue_depth, producers)
+        }
+    }
+
+    /// The single-producer pipelined path: route and ship on the calling
+    /// thread. See [`Engine::serve_pipelined`].
+    fn pipeline_single(
+        &mut self,
+        ops: impl IntoIterator<Item = Op>,
+        batch_size: usize,
+        queue_depth: usize,
+    ) -> BatchSummary {
         let shards = self.shards.len();
         let track = self.sink.is_some();
         let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(shards));
-        // Stage 0: ship every shard to its worker with a fresh bounded
-        // batch queue and a recycle channel for drained buffers.
+        // Stage 0: ship every shard to its worker with a fresh SPSC
+        // batch ring and a recycle channel for drained buffers.
         let mut batches = Vec::with_capacity(shards);
         let mut recycled = Vec::with_capacity(shards);
         for (id, slot) in self.shards.iter_mut().enumerate() {
-            let (batch_tx, batch_rx) = channel::bounded::<Vec<Op>>(queue_depth);
+            let (batch_tx, batch_rx) = spsc::ring::<Batch>(queue_depth);
             let (recycle_tx, recycle_rx) = channel::channel();
             let shard = slot.take().expect("shard present between batches");
             let job = Job::Stream {
                 shard,
-                batches: batch_rx,
-                recycle: recycle_tx,
+                batches: vec![batch_rx],
+                recycle: vec![recycle_tx],
                 track,
             };
             if pool.jobs[id].send(job).is_err() {
@@ -769,18 +1027,28 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         // Producer-side measurement: one PendingShip per shipped batch,
         // joined with its worker-side apply latency after the drain.
         let started = self.started;
-        let mut pending: Vec<Vec<PendingShip>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut ship = |id: usize, full: Vec<Op>, batches: &[channel::Sender<Vec<Op>>]| {
+        let mut pending: Vec<PendingShip> = Vec::new();
+        let mut shipped = vec![0u64; shards];
+        let mut ship = |id: usize, full: Vec<Op>, batches: &[spsc::RingProducer<Batch>]| {
+            let seq = shipped[id];
+            shipped[id] += 1;
             if !track {
-                return batches[id].send(full).is_ok();
+                return batches[id].send(Batch { seq, ops: full }).is_ok();
             }
             let (inserts, deletes, lookups) = op_mix(&full);
             let ops = full.len() as u32;
-            let Ok(stalled) = batches[id].send_tracked(full) else {
+            let Ok(stalled) = batches[id].send_tracked(Batch { seq, ops: full }) else {
                 return false;
             };
-            pending[id].push(PendingShip {
+            pending.push(PendingShip {
                 at: started.elapsed(),
+                shard: id,
+                chunk: seq,
+                producer: 0,
+                // Routing is interleaved op-by-op with stream pull on
+                // this path, not a separable stage; reported as zero
+                // rather than a made-up split.
+                routed: Duration::ZERO,
                 ops,
                 inserts,
                 deletes,
@@ -792,7 +1060,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             true
         };
         // Producer stage: route ops into per-shard filling buffers; a
-        // full buffer ships into the bounded queue (blocking only when
+        // full buffer ships into the bounded ring (blocking only when
         // the worker is queue_depth batches behind) and is replaced by a
         // recycled buffer the worker already drained, a spare from a
         // previous call, or — only while the pipeline warms up — a fresh
@@ -831,7 +1099,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         // closure-free join below touches it.
         #[allow(clippy::drop_non_drop)]
         drop(ship);
-        // Disconnect the batch queues: each worker drains what is queued,
+        // Disconnect the batch rings: each worker drains what is queued,
         // then reports its shard and stream summary.
         drop(batches);
         let mut total = BatchSummary::default();
@@ -853,38 +1121,217 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             }
         }
         self.spare_buffers = spare;
-        // Join the producer-side ship records with the worker-side apply
-        // latencies (same per-shard batch order on both sides), then
-        // emit the stream's records in ship-time order.
-        if let Some(mut sink) = self.sink.take() {
-            let mut records = Vec::new();
-            for (id, (ships, shard_applies)) in pending.into_iter().zip(applies).enumerate() {
-                debug_assert_eq!(ships.len(), shard_applies.len(), "shard {id} batch count");
-                for (ship, apply) in ships.into_iter().zip(shard_applies) {
-                    records.push(MetricRecord {
-                        seq: 0, // assigned below, in ship-time order
-                        at: ship.at,
-                        shard: Some(id),
-                        ops: ship.ops,
-                        inserts: ship.inserts,
-                        deletes: ship.deletes,
-                        lookups: ship.lookups,
-                        apply,
-                        queue_occupancy: ship.occupancy,
-                        stalls: ship.stalls,
-                        stalled: ship.stalled,
-                    });
+        self.emit_stream_records(pending, &applies);
+        total
+    }
+
+    /// The multi-producer pipelined path: fan chunks out to `producers`
+    /// routing threads. See [`Engine::serve_pipelined_producers`].
+    fn pipeline_fanned(
+        &mut self,
+        ops: impl IntoIterator<Item = Op>,
+        batch_size: usize,
+        queue_depth: usize,
+        producers: usize,
+    ) -> BatchSummary {
+        let shards = self.shards.len();
+        let track = self.sink.is_some();
+        let started = self.started;
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(shards));
+        // Stage 0: a producers × shards matrix of SPSC rings. Producer p
+        // owns row p of senders; shard worker s receives column s and
+        // merges it in (producer, seq) round-robin order.
+        let mut ring_txs: Vec<Vec<spsc::RingProducer<Batch>>> = Vec::with_capacity(producers);
+        let mut ring_rxs: Vec<Vec<spsc::RingConsumer<Batch>>> =
+            (0..shards).map(|_| Vec::with_capacity(producers)).collect();
+        for _ in 0..producers {
+            let mut row = Vec::with_capacity(shards);
+            for col in ring_rxs.iter_mut() {
+                let (tx, rx) = spsc::ring::<Batch>(queue_depth);
+                row.push(tx);
+                col.push(rx);
+            }
+            ring_txs.push(row);
+        }
+        // Per-producer recycle channels; every worker holds a clone of
+        // each sender so drained buffers go home to the producer that
+        // filled them (the recycle path is MPSC and cold — only the
+        // batch rings are hot).
+        let mut recycle_txs = Vec::with_capacity(producers);
+        let mut recycle_rxs = Vec::with_capacity(producers);
+        for _ in 0..producers {
+            let (tx, rx) = channel::channel::<Vec<Op>>();
+            recycle_txs.push(tx);
+            recycle_rxs.push(rx);
+        }
+        for (id, slot) in self.shards.iter_mut().enumerate() {
+            let shard = slot.take().expect("shard present between batches");
+            let job = Job::Stream {
+                shard,
+                batches: std::mem::take(&mut ring_rxs[id]),
+                recycle: recycle_txs.clone(),
+                track,
+            };
+            if pool.jobs[id].send(job).is_err() {
+                panic!("shard worker {id} exited early");
+            }
+        }
+        drop(recycle_txs);
+        // Spare buffers feed the distribution stage here; producers warm
+        // up their own batch buffers in a chunk or two, and everything
+        // flows back to this pool at the end of the stream.
+        let mut spare = std::mem::take(&mut self.spare_buffers);
+        // Distribution stage on the calling thread: slice the stream
+        // into chunks of batch_size × shards ops, handing chunk k to
+        // producer k % producers over a shallow bounded channel (depth 2
+        // keeps each producer one chunk ahead without unbounded
+        // buffering). Routed-out chunk buffers come back for reuse.
+        let chunk_size = batch_size * shards;
+        let mut reports: Vec<ProducerReport> = Vec::with_capacity(producers);
+        std::thread::scope(|scope| {
+            let (chunk_back_tx, chunk_back_rx) = channel::channel::<Vec<Op>>();
+            let mut dist_txs = Vec::with_capacity(producers);
+            let mut handles = Vec::with_capacity(producers);
+            for (p, (rings, recycle_rx)) in ring_txs.into_iter().zip(recycle_rxs).enumerate() {
+                let (dist_tx, dist_rx) = channel::bounded::<(u64, Vec<Op>)>(2);
+                dist_txs.push(dist_tx);
+                let chunk_back = chunk_back_tx.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("ba-producer-{p}"))
+                        .spawn_scoped(scope, move || {
+                            producer_stage(
+                                p as u32, rings, recycle_rx, dist_rx, chunk_back, batch_size,
+                                started, track,
+                            )
+                        })
+                        .expect("spawn pipeline producer thread"),
+                );
+            }
+            drop(chunk_back_tx);
+            let mut grab_chunk = || {
+                let mut buf = chunk_back_rx
+                    .try_recv()
+                    .or_else(|| spare.pop())
+                    .unwrap_or_default();
+                buf.clear();
+                buf.reserve(chunk_size);
+                buf
+            };
+            let mut buf = grab_chunk();
+            let mut chunk: u64 = 0;
+            let mut alive = true;
+            for op in ops {
+                buf.push(op);
+                if buf.len() == chunk_size {
+                    let full = std::mem::take(&mut buf);
+                    if dist_txs[(chunk % producers as u64) as usize]
+                        .send((chunk, full))
+                        .is_err()
+                    {
+                        // The producer bailed (its worker died); stop
+                        // distributing and let the teardown below
+                        // surface the worker panic.
+                        alive = false;
+                        break;
+                    }
+                    chunk += 1;
+                    buf = grab_chunk();
                 }
             }
-            records.sort_by_key(|r| (r.at, r.shard));
-            for mut record in records {
-                record.seq = self.emitted;
-                self.emitted += 1;
-                sink.record(&record);
+            if alive && !buf.is_empty() {
+                let _ = dist_txs[(chunk % producers as u64) as usize].send((chunk, buf));
+            } else {
+                spare.push(buf);
             }
-            self.sink = Some(sink);
+            // Disconnect distribution: each producer finishes its queued
+            // chunks, ships them, and drops its rings, which ends every
+            // worker's stream.
+            drop(dist_txs);
+            for handle in handles {
+                match handle.join() {
+                    Ok(report) => reports.push(report),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            // Reclaim distribution chunk buffers.
+            while let Some(chunk_buf) = chunk_back_rx.try_recv() {
+                spare.push(chunk_buf);
+            }
+        });
+        let mut total = BatchSummary::default();
+        let mut applies: Vec<Vec<Duration>> = Vec::with_capacity(shards);
+        for id in 0..shards {
+            let done = pool.results[id]
+                .recv()
+                .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
+            self.shards[id] = Some(done.shard);
+            total.absorb(&done.summary);
+            applies.push(done.applies);
         }
+        // Fold the producer reports: reclaim their buffers, surface any
+        // worker death they observed, and gather the metric halves.
+        let mut pending: Vec<PendingShip> = Vec::new();
+        let mut dead: Option<usize> = None;
+        for report in reports {
+            while let Some(buf) = report.recycle.try_recv() {
+                spare.push(buf);
+            }
+            spare.extend(report.spare);
+            dead = dead.or(report.dead_shard);
+            pending.extend(report.pending);
+        }
+        self.spare_buffers = spare;
+        if let Some(id) = dead {
+            panic!("shard worker {id} panicked");
+        }
+        self.emit_stream_records(pending, &applies);
         total
+    }
+
+    /// Joins producer-side ship records with worker-side apply latencies
+    /// — `(shard, chunk)` addresses the apply sample on both paths —
+    /// and emits the stream's records in ship-time order. Empty
+    /// merge-alignment batches (multi-producer only) carry no traffic
+    /// and emit no record.
+    fn emit_stream_records(&mut self, pending: Vec<PendingShip>, applies: &[Vec<Duration>]) {
+        let Some(mut sink) = self.sink.take() else {
+            return;
+        };
+        debug_assert_eq!(
+            pending.len(),
+            applies.iter().map(Vec::len).sum::<usize>(),
+            "ship records and apply samples must pair 1:1"
+        );
+        let mut records = Vec::with_capacity(pending.len());
+        for ship in pending {
+            let apply = applies[ship.shard][ship.chunk as usize];
+            if ship.ops == 0 {
+                continue;
+            }
+            records.push(MetricRecord {
+                seq: 0, // assigned below, in ship-time order
+                at: ship.at,
+                shard: Some(ship.shard),
+                producer: ship.producer,
+                ops: ship.ops,
+                inserts: ship.inserts,
+                deletes: ship.deletes,
+                lookups: ship.lookups,
+                apply,
+                routed: ship.routed,
+                queue_occupancy: ship.occupancy,
+                stalls: ship.stalls,
+                stalled: ship.stalled,
+            });
+        }
+        records.sort_by_key(|r| (r.at, r.shard));
+        for mut record in records {
+            record.seq = self.emitted;
+            self.emitted += 1;
+            sink.record(&record);
+        }
+        self.sink = Some(sink);
     }
 
     /// Snapshot of per-shard and aggregate load/traffic statistics.
@@ -1045,7 +1492,13 @@ mod tests {
         let mut phased = engine(4, WorkerMode::Persistent);
         let expected = phased.serve(&ops, 512);
         let cfg = EngineConfig::new(4, 256, 3).seed(42).pipelined(2);
-        assert_eq!(cfg.ingest, IngestMode::Pipelined { queue_depth: 2 });
+        assert_eq!(
+            cfg.ingest,
+            IngestMode::Pipelined {
+                queue_depth: 2,
+                producers: 1
+            }
+        );
         let mut via_serve = Engine::by_name("double", cfg.clone()).unwrap();
         assert_eq!(via_serve.serve(&ops, 512), expected);
         let mut via_replay = Engine::by_name("double", cfg).unwrap();
@@ -1106,6 +1559,135 @@ mod tests {
     #[should_panic(expected = "queue depth")]
     fn zero_queue_depth_rejected() {
         engine(2, WorkerMode::Persistent).serve_pipelined([Op::Insert(1)], 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_queue_depth_rejected() {
+        engine(2, WorkerMode::Persistent).serve_pipelined([Op::Insert(1)], 8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn zero_producers_rejected() {
+        engine(2, WorkerMode::Persistent).serve_pipelined_producers([Op::Insert(1)], 8, 2, 0);
+    }
+
+    #[test]
+    fn multi_producer_pipelined_equals_sequential_serving() {
+        // The tentpole contract at the unit level: the fanned routing
+        // stage and the (producer, seq) merge must be invisible in the
+        // results for any producer count × depth, including producer
+        // counts that do not divide the chunk count evenly.
+        let ops = mixed_ops(20_000);
+        let mut seq = engine(8, WorkerMode::Sequential);
+        let expected = seq.serve(&ops, 1_024);
+        for producers in [2usize, 3, 8] {
+            for depth in [1usize, 4] {
+                let mut pip = engine(8, WorkerMode::Sequential);
+                let got = pip.serve_pipelined_producers(ops.iter().copied(), 128, depth, producers);
+                assert_eq!(got, expected, "producers {producers} depth {depth}");
+                assert!(
+                    pip.stats().matches(&seq.stats()),
+                    "producers {producers} depth {depth}"
+                );
+                for (a, b) in pip.shards().iter().zip(seq.shards()) {
+                    assert_eq!(
+                        a.allocation().loads(),
+                        b.allocation().loads(),
+                        "producers {producers} depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_producer_handles_empty_and_subchunk_streams() {
+        // No chunk is ever formed (empty stream) and a single partial
+        // chunk (shorter than batch_size × shards) both terminate every
+        // worker's round-robin merge cleanly.
+        let mut eng = engine(4, WorkerMode::Persistent);
+        assert_eq!(
+            eng.serve_pipelined_producers(std::iter::empty(), 64, 4, 3),
+            BatchSummary::default()
+        );
+        assert_eq!(eng.total_balls(), 0);
+        let mut seq = engine(4, WorkerMode::Sequential);
+        let ops = mixed_ops(10);
+        let expected = seq.serve(&ops, 64);
+        let got = eng.serve_pipelined_producers(ops.iter().copied(), 64, 4, 3);
+        assert_eq!(got, expected);
+        for (a, b) in eng.shards().iter().zip(seq.shards()) {
+            assert_eq!(a.allocation().loads(), b.allocation().loads());
+        }
+    }
+
+    #[test]
+    fn multi_producer_single_shard_and_repeated_calls() {
+        let ops = mixed_ops(5_000);
+        let mut seq = engine(1, WorkerMode::Sequential);
+        let mut pip = engine(1, WorkerMode::Sequential);
+        for chunk in ops.chunks(1_000) {
+            let a = seq.serve(chunk, 128);
+            let b = pip.serve_pipelined_producers(chunk.iter().copied(), 128, 2, 4);
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            seq.shard(0).allocation().loads(),
+            pip.shard(0).allocation().loads()
+        );
+        // Buffers reclaimed from producers and workers persist across
+        // calls on the engine's spare pool.
+        assert!(
+            !pip.spare_buffers.is_empty(),
+            "fanned pipeline buffers were dropped instead of pooled"
+        );
+    }
+
+    #[test]
+    fn multi_producer_worker_panic_propagates_instead_of_deadlocking() {
+        // A shard panicking mid-stream must surface as a panic in the
+        // fanned path too — producers bail via ring disconnect, the
+        // distribution stage stops, and the dead worker is reported —
+        // never a deadlock.
+        let result = std::panic::catch_unwind(|| {
+            let cfg = EngineConfig::new(2, 64, 1).seed(1).keyed();
+            let mut eng = Engine::with_scheme_factory(cfg, |_| Exploding { n: 64, poison: 42 });
+            eng.serve_pipelined_producers((0..4_096u64).map(Op::Insert), 8, 1, 3);
+        });
+        assert!(result.is_err(), "fanned worker panic was swallowed");
+    }
+
+    #[test]
+    fn multi_producer_sink_records_carry_producer_and_stay_bit_identical() {
+        // Sink attachment under fanned serving: results unchanged, every
+        // record attributed to a real (shard, producer) pair, sequence
+        // numbers dense in ship-time order, no empty alignment batches
+        // leaking through, and op totals conserved.
+        let ops = mixed_ops(8_000);
+        let mut plain = engine(4, WorkerMode::Persistent);
+        let expected = plain.serve(&ops, 1_024);
+        let sink = SharedSink::new();
+        let mut observed = engine(4, WorkerMode::Persistent);
+        observed.set_sink(Box::new(sink.clone()));
+        let got = observed.serve_pipelined_producers(ops.iter().copied(), 128, 2, 3);
+        assert_eq!(got, expected);
+        assert!(observed.stats().matches(&plain.stats()));
+        let records = sink.records();
+        assert!(!records.is_empty());
+        assert_eq!(records.iter().map(|r| u64::from(r.ops)).sum::<u64>(), 8_000);
+        assert!(records.iter().all(|r| r.ops > 0), "empty batch leaked");
+        assert!(records.iter().all(|r| r.shard.is_some()));
+        assert!(records.iter().all(|r| r.producer < 3));
+        let seen: std::collections::HashSet<u32> = records.iter().map(|r| r.producer).collect();
+        assert!(seen.len() > 1, "all records from one producer: {seen:?}");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "sequence numbers must be dense");
+        }
+        for pair in records.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "ship-time order violated");
+        }
     }
 
     #[test]

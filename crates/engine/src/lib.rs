@@ -34,11 +34,15 @@
 //!   engine drops.
 //! * **Pipelined ingestion** — [`Engine::serve_pipelined`] (or
 //!   [`IngestMode::Pipelined`] via [`EngineConfig::ingest`]) overlaps
-//!   production with application: the calling thread partitions the op
+//!   production with application: the producer stage partitions the op
 //!   stream and ships per-shard batches into *bounded* backpressured
-//!   queues while the persistent workers apply earlier batches; drained
-//!   batch buffers recycle back to the producer. Bit-identical results
-//!   to phased serving, strictly better producer/worker overlap.
+//!   lock-free SPSC rings ([`spsc`]) while the persistent workers apply
+//!   earlier batches; drained batch buffers recycle back to the
+//!   producer. [`Engine::serve_pipelined_producers`] fans routing out to
+//!   N producer threads, each shipping sequence-stamped batches that
+//!   every shard worker merges in deterministic (producer, seq) order.
+//!   Bit-identical results to phased serving for any producer count,
+//!   strictly better producer/worker overlap.
 //! * **Replay** — [`Engine::serve_replay`] ingests an op *iterator* in
 //!   batch-sized chunks, so captured workload files (the `ba-workload`
 //!   replay module's `.baops` format) replay at live-serving memory cost,
@@ -84,6 +88,7 @@ mod metrics;
 mod op;
 mod shard;
 mod sink;
+pub mod spsc;
 
 pub use engine::{route, ChoiceMode, Engine, EngineConfig, IngestMode, WorkerMode};
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};

@@ -1,0 +1,244 @@
+//! Shuffle-schedule stress tests for the SPSC ring (`ba_engine::spsc`).
+//!
+//! The ring's unit tests cover each empty/full/disconnect edge once,
+//! deterministically. This suite hammers the same edges under *many
+//! different thread interleavings*: each iteration derives a schedule
+//! from a seeded xorshift stream and perturbs the producer and consumer
+//! with seed-dependent yields, spins, and sleeps, so the park/unpark
+//! handshake, the drop paths, and the wraparound arithmetic get exercised
+//! at shifted phases instead of whatever one interleaving the scheduler
+//! happens to produce. A lost wakeup shows up as a test that hangs (and
+//! trips the harness timeout); a broken handshake shows up as reordered,
+//! duplicated, or dropped values.
+//!
+//! Iteration counts scale with the `RING_STRESS` env var (a multiplier;
+//! CI's dedicated ring-stress job sets it and runs `--include-ignored`
+//! to pick up the heavy variants).
+
+use ba_engine::spsc::{self, RecvError};
+use std::time::Duration;
+
+/// Deterministic schedule noise: xorshift64*, one stream per iteration.
+struct Schedule(u64);
+
+impl Schedule {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(2_685_821_657_736_338_717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Perturb the calling thread according to the stream: mostly run
+    /// hot, sometimes yield, rarely sleep — enough jitter to shift which
+    /// side hits the empty/full edge first.
+    fn perturb(&mut self) {
+        match self.next() % 16 {
+            0..=11 => {}
+            12 | 13 => std::thread::yield_now(),
+            14 => std::hint::spin_loop(),
+            _ => std::thread::sleep(Duration::from_micros(self.next() % 50)),
+        }
+    }
+}
+
+/// Iterations for a test: `base × RING_STRESS` (default multiplier 1).
+fn iterations(base: u64) -> u64 {
+    let mult = std::env::var("RING_STRESS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base * mult
+}
+
+/// One full producer/consumer run over a fresh ring: `n` values, both
+/// sides perturbed by their own schedule stream; asserts exact FIFO
+/// delivery of every value.
+fn fifo_run(capacity: usize, n: u64, seed: u64) {
+    let (tx, rx) = spsc::ring::<u64>(capacity);
+    let producer = std::thread::spawn(move || {
+        let mut schedule = Schedule::new(seed);
+        for i in 0..n {
+            schedule.perturb();
+            tx.send(i).expect("consumer alive for the whole stream");
+        }
+    });
+    let mut schedule = Schedule::new(seed ^ 0xDEAD_BEEF);
+    for expected in 0..n {
+        schedule.perturb();
+        assert_eq!(
+            rx.recv(),
+            Ok(expected),
+            "cap {capacity} seed {seed}: reordered, dropped, or duplicated"
+        );
+    }
+    assert_eq!(rx.recv(), Err(RecvError), "stream must end after n values");
+    producer.join().unwrap();
+}
+
+#[test]
+fn fifo_integrity_across_schedules() {
+    // Capacity 1 forces every send/recv through the full/empty edges;
+    // larger capacities mix fast-path and edge traffic.
+    for capacity in [1usize, 2, 8] {
+        for round in 0..iterations(20) {
+            fifo_run(capacity, 400, round * 31 + capacity as u64);
+        }
+    }
+}
+
+#[test]
+#[ignore = "heavy schedule sweep; CI's ring-stress job runs it via --include-ignored"]
+fn fifo_integrity_heavy() {
+    for capacity in [1usize, 2, 8, 64] {
+        for round in 0..iterations(60) {
+            fifo_run(capacity, 2_000, round * 131 + capacity as u64);
+        }
+    }
+}
+
+#[test]
+fn producer_drop_while_full_always_drains() {
+    // The producer dies (thread exit drops the RingProducer) at a
+    // schedule-dependent point, frequently while the ring is full and
+    // it is blocked in send. The consumer must always receive exactly
+    // the prefix that send() accepted, then see the disconnect.
+    for round in 0..iterations(40) {
+        let capacity = 1usize << (round % 4); // 1, 2, 4, 8
+        let (tx, rx) = spsc::ring::<u64>(capacity);
+        let producer = std::thread::spawn(move || {
+            let mut schedule = Schedule::new(round * 7 + 1);
+            let quota = schedule.next() % 40;
+            let mut sent = 0u64;
+            while sent < quota {
+                schedule.perturb();
+                if tx.send(sent).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+            sent // how many the consumer must observe
+        });
+        let mut schedule = Schedule::new(round * 13 + 5);
+        // Let the producer run ahead (often filling the ring) before the
+        // consumer starts draining — schedule-dependent.
+        if round % 3 == 0 {
+            std::thread::sleep(Duration::from_micros(schedule.next() % 200));
+        }
+        let mut received = 0u64;
+        while let Ok(value) = rx.recv() {
+            assert_eq!(value, received, "round {round}: gap in drained prefix");
+            received += 1;
+            schedule.perturb();
+        }
+        let sent = producer.join().unwrap();
+        assert_eq!(received, sent, "round {round}: drain lost values");
+        assert_eq!(rx.recv(), Err(RecvError), "round {round}: not sticky");
+    }
+}
+
+#[test]
+fn receiver_drop_wakes_blocked_producer_with_value() {
+    // The consumer dies at a schedule-dependent point while the producer
+    // pushes as fast as it can; the producer must always terminate (no
+    // lost wakeup while parked on a full ring) and get its value back on
+    // the failing send.
+    for round in 0..iterations(40) {
+        let capacity = 1usize << (round % 3); // 1, 2, 4
+        let (tx, rx) = spsc::ring::<u64>(capacity);
+        let producer = std::thread::spawn(move || {
+            let mut schedule = Schedule::new(round * 29 + 3);
+            let mut i = 0u64;
+            loop {
+                schedule.perturb();
+                match tx.send(i) {
+                    Ok(()) => i += 1,
+                    Err(err) => return (i, err.0),
+                }
+            }
+        });
+        let mut schedule = Schedule::new(round * 17 + 11);
+        let drain = schedule.next() % 30;
+        let mut expected = 0u64;
+        for _ in 0..drain {
+            schedule.perturb();
+            match rx.recv() {
+                Ok(v) => {
+                    assert_eq!(v, expected, "round {round}");
+                    expected += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        drop(rx); // often while the producer is parked on a full ring
+        let (next, bounced) = producer.join().unwrap();
+        assert_eq!(
+            bounced, next,
+            "round {round}: SendError must return the unsent value"
+        );
+        assert!(
+            next >= expected,
+            "round {round}: producer cannot be behind the consumer"
+        );
+    }
+}
+
+#[test]
+fn depth_one_ping_pong_over_many_laps() {
+    // Capacity 1: every exchange is an empty edge for one side and a
+    // full edge for the other — the tightest possible park/unpark loop.
+    // Values are round-trip verified (consumer echoes through a second
+    // ring), doubling the edge pressure.
+    let laps = iterations(2_000);
+    let (req_tx, req_rx) = spsc::ring::<u64>(1);
+    let (resp_tx, resp_rx) = spsc::ring::<u64>(1);
+    let echo = std::thread::spawn(move || {
+        while let Ok(v) = req_rx.recv() {
+            if resp_tx.send(v.wrapping_mul(3)).is_err() {
+                break;
+            }
+        }
+    });
+    for i in 0..laps {
+        req_tx.send(i).unwrap();
+        assert_eq!(resp_rx.recv(), Ok(i.wrapping_mul(3)), "lap {i}");
+    }
+    drop(req_tx);
+    echo.join().unwrap();
+    assert_eq!(resp_rx.recv(), Err(RecvError));
+}
+
+#[test]
+#[ignore = "heavy drop-edge sweep; CI's ring-stress job runs it via --include-ignored"]
+fn drop_edges_heavy() {
+    // Same drop-path coverage as the default tests, at a round count
+    // that makes rare interleavings (drop exactly between the parked
+    // flag store and the condvar wait) overwhelmingly likely to occur.
+    for round in 0..iterations(400) {
+        let (tx, rx) = spsc::ring::<u64>(1);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while tx.send(i).is_ok() {
+                i += 1;
+            }
+            i
+        });
+        let mut schedule = Schedule::new(round + 1);
+        let drain = schedule.next() % 5;
+        for _ in 0..drain {
+            let _ = rx.recv();
+        }
+        if schedule.next().is_multiple_of(2) {
+            std::thread::yield_now();
+        }
+        drop(rx);
+        let _ = producer.join().unwrap();
+    }
+}

@@ -207,15 +207,20 @@ pub fn drive<S: ChoiceScheme + 'static>(
     batch_size: usize,
 ) -> DriveReport {
     assert!(batch_size > 0, "batch size must be positive");
-    if let IngestMode::Pipelined { queue_depth } = engine.config().ingest {
+    if let IngestMode::Pipelined {
+        queue_depth,
+        producers,
+    } = engine.config().ingest
+    {
         let start = std::time::Instant::now();
-        let summary = engine.serve_pipelined(
+        let summary = engine.serve_pipelined_producers(
             WorkloadOps {
                 workload,
                 remaining: total_ops,
             },
             batch_size,
             queue_depth,
+            producers,
         );
         let elapsed = start.elapsed();
         return DriveReport {

@@ -8,16 +8,22 @@
 //! both choice modes.
 //!
 //! ```text
-//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined] [metrics[=PATH]]
+//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined[=DEPTH]] [producers=N] [metrics[=PATH]]
 //! # scheme: random | double | blocks | one | ... (default: compares random vs double)
 //! # keyed: derive choices from hash(key, shard_salt) so re-inserts replay
 //! #        their f + k·g probe sequences (default: stream)
 //! # pipelined: overlap workload generation with shard application through
-//! #            bounded per-worker queues (default: phased generate/apply)
+//! #            bounded per-worker SPSC rings (default: phased
+//! #            generate/apply); DEPTH sets the ring depth (default 4,
+//! #            rounded up to a power of two with a warning if needed)
+//! # producers: fan routing out to N producer threads on the pipelined
+//! #            path (default 1; results are bit-identical for any N —
+//! #            ignored, with a warning, under phased ingestion)
 //! # metrics: stream live windowed unit-of-work metrics (batch latency,
-//! #          queue occupancy, backpressure stalls) as JSON lines to
-//! #          stderr, or append them to PATH with metrics=PATH; results
-//! #          are bit-identical with or without the exporter attached
+//! #          queue occupancy, backpressure stalls, routing time) as
+//! #          JSON lines to stderr, or append them to PATH with
+//! #          metrics=PATH; results are bit-identical with or without
+//! #          the exporter attached
 //! ```
 
 use balanced_allocations::prelude::*;
@@ -103,13 +109,57 @@ fn main() {
         }
         None => ChoiceMode::Stream,
     };
-    // A `pipelined` token anywhere selects pipelined ingestion.
-    let ingest = match args.iter().position(|a| a == "pipelined") {
+    // A `producers=N` token sets the pipelined fan-out width.
+    let producers = match args.iter().position(|a| a.starts_with("producers=")) {
         Some(idx) => {
-            args.remove(idx);
-            IngestMode::Pipelined { queue_depth: 4 }
+            let token = args.remove(idx);
+            let n: usize = token["producers=".len()..].parse().unwrap_or_else(|_| {
+                eprintln!("cannot parse `{token}`; expected producers=N");
+                std::process::exit(1);
+            });
+            if n == 0 {
+                eprintln!("producers=0 is not servable; need at least one");
+                std::process::exit(1);
+            }
+            Some(n)
         }
-        None => IngestMode::Phased,
+        None => None,
+    };
+    // A `pipelined` or `pipelined=DEPTH` token selects pipelined
+    // ingestion. The SPSC rings need a power-of-two depth; round a
+    // non-conforming request up with a warning instead of panicking.
+    let ingest = match args
+        .iter()
+        .position(|a| a == "pipelined" || a.starts_with("pipelined="))
+    {
+        Some(idx) => {
+            let token = args.remove(idx);
+            let requested: usize = match token.strip_prefix("pipelined=") {
+                Some(depth) => depth.parse().unwrap_or_else(|_| {
+                    eprintln!("cannot parse `{token}`; expected pipelined=DEPTH");
+                    std::process::exit(1);
+                }),
+                None => 4,
+            };
+            let queue_depth = requested.max(1).next_power_of_two();
+            if queue_depth != requested {
+                eprintln!(
+                    "warning: queue depth {requested} is not a power of two (the SPSC ring granularity); rounded up to {queue_depth}"
+                );
+            }
+            IngestMode::Pipelined {
+                queue_depth,
+                producers: producers.unwrap_or(1),
+            }
+        }
+        None => {
+            if let Some(n) = producers {
+                eprintln!(
+                    "warning: producers={n} has no effect under phased ingestion; pass `pipelined` to fan routing out"
+                );
+            }
+            IngestMode::Phased
+        }
     };
     // A `metrics` or `metrics=PATH` token turns on the live exporter.
     let metrics = match args

@@ -19,12 +19,15 @@ fn config(shards: usize, bins: u64, d: usize, seed: u64) -> EngineConfig {
 #[test]
 fn pipelined_ingestion_equals_phased_for_every_scenario_scheme_mode_and_depth() {
     // The pipelined acceptance matrix: for all 5 scenarios × every scheme
-    // the workspace ships × both choice modes × queue depths {1, 4, 64},
-    // serving through the bounded-queue pipeline is bit-identical —
+    // the workspace ships × both choice modes × a (queue depth, producer
+    // count) axis spanning depths {1, 4, 64} single-producer plus the
+    // multi-producer fan-out at {2, 4} producers × depths {1, 4}, serving
+    // through the lock-free SPSC-ring pipeline is bit-identical —
     // summary, per-shard loads, max loads, stats percentiles — to phased
     // WorkerMode::Sequential serving of the same generated stream.
     let total_ops = 4_000u64;
     let keyspace = 512u64;
+    let axis: &[(usize, usize)] = &[(1, 1), (4, 1), (64, 1), (1, 2), (4, 2), (1, 4), (4, 4)];
     for scenario in Scenario::all() {
         for &scheme in AnyScheme::names() {
             // d = 4 divides the 128-bin tables evenly (the d-left
@@ -40,19 +43,25 @@ fn pipelined_ingestion_equals_phased_for_every_scenario_scheme_mode_and_depth() 
                     256,
                 )
                 .unwrap();
-                for depth in [1usize, 4, 64] {
+                for &(depth, producers) in axis {
                     let pipelined = run_scenario(
                         scheme,
                         &scenario,
                         config(4, 128, d, 29)
                             .mode(mode)
-                            .ingest(IngestMode::Pipelined { queue_depth: depth }),
+                            .ingest(IngestMode::Pipelined {
+                                queue_depth: depth,
+                                producers,
+                            }),
                         keyspace,
                         total_ops,
                         256,
                     )
                     .unwrap();
-                    let tag = format!("{}/{scheme}/{mode:?}/depth {depth}", scenario.name());
+                    let tag = format!(
+                        "{}/{scheme}/{mode:?}/depth {depth} x{producers}",
+                        scenario.name()
+                    );
                     assert_eq!(pipelined.summary, phased.summary, "{tag}");
                     assert_eq!(
                         pipelined.stats.max_loads(),
