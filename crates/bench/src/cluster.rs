@@ -1,0 +1,146 @@
+//! The cluster experiment: per-node load spread and routing overhead of
+//! the consistent-hash cluster tier.
+//!
+//! For each scenario × node count it serves one op stream through a
+//! [`Cluster`] and records: the per-node ball spread (min/max/imbalance
+//! over the ring's ownership), the pure-routing cost of
+//! [`Cluster::node_for`] per op, the serve rate, and — the tier's
+//! contract — whether placement is bit-identical to the 1-node cluster
+//! over the same stream. Node count changes ownership, never placement,
+//! so the `identical` column must read `true` in every row.
+
+use crate::Opts;
+use ba_engine::{Cluster, ClusterConfig, EngineConfig};
+use ba_stats::Table;
+use ba_workload::Scenario;
+use std::time::Instant;
+
+/// Node counts the experiment sweeps.
+const NODE_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Scenarios the experiment serves (generation-cheap uniform,
+/// skew-heavy zipf, delete-heavy churn).
+const SCENARIOS: &[&str] = &["uniform", "zipf", "churn"];
+
+/// Builds the experiment's cluster: 32 keyed partitions of 2 sequential
+/// shards each, so the cluster fan-out — not worker parallelism — is
+/// what the numbers measure.
+fn build(opts: &Opts, bins_per_shard: u64, nodes: usize) -> Cluster<ba_hash::AnyScheme> {
+    let engine = EngineConfig::new(2, bins_per_shard, 3)
+        .seed(opts.seed)
+        .keyed()
+        .sequential();
+    let node_ids: Vec<u64> = (0..nodes as u64).collect();
+    Cluster::by_name("double", ClusterConfig::new(engine), &node_ids).expect("known scheme")
+}
+
+/// Runs the node-count sweep and renders one table per scenario.
+pub fn cluster(opts: &Opts) -> String {
+    let bins_per_shard = if opts.full { 1u64 << 12 } else { 1u64 << 8 };
+    // 32 partitions x 2 shards x bins: serve one ball per bin on average.
+    let keyspace = 32 * 2 * bins_per_shard;
+    let total_ops = keyspace as usize;
+    let batch = 512;
+
+    let mut out = format!(
+        "Cluster tier: 32 keyed partitions x 2 shards x {bins_per_shard} bins, d = 3, \
+         {total_ops} ops per cell, seed {}\n\
+         (placement is partition-owned, so the identical column asserts the \
+         1-vs-N bit-identity contract per row)\n\n",
+        opts.seed
+    );
+    for &name in SCENARIOS {
+        let scenario = Scenario::by_name(name).expect("known scenario");
+        let mut ops = Vec::with_capacity(total_ops);
+        let mut generator = scenario.build(keyspace, opts.seed);
+        let mut chunk = Vec::new();
+        while ops.len() < total_ops {
+            generator.fill(&mut chunk, batch.min(total_ops - ops.len()));
+            ops.extend_from_slice(&chunk);
+        }
+
+        let mut table = Table::new(&[
+            "nodes",
+            "balls",
+            "node min",
+            "node max",
+            "imbalance",
+            "route ns/op",
+            "Mops/s",
+            "identical",
+        ]);
+        let mut reference: Option<Cluster<ba_hash::AnyScheme>> = None;
+        for &nodes in NODE_COUNTS {
+            let mut c = build(opts, bins_per_shard, nodes);
+            // Pure routing cost: node_for over the whole stream, no serving.
+            let t0 = Instant::now();
+            let mut routed = 0u64;
+            for op in &ops {
+                routed ^= c.node_for(op.key());
+            }
+            let route_ns = t0.elapsed().as_nanos() as f64 / ops.len() as f64;
+            std::hint::black_box(routed);
+
+            let t0 = Instant::now();
+            c.serve(&ops, batch);
+            let serve = t0.elapsed();
+
+            let spread = c.per_node_balls();
+            let min = spread.iter().map(|&(_, b)| b).min().unwrap_or(0);
+            let max = spread.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            let mean = c.total_balls() as f64 / nodes as f64;
+            let identical = match &reference {
+                None => true, // the 1-node row is the reference itself
+                Some(single) => {
+                    single.placement_divergences(&c).is_empty()
+                        && single.stats().matches(&c.stats())
+                }
+            };
+            table.row_owned(vec![
+                nodes.to_string(),
+                c.total_balls().to_string(),
+                min.to_string(),
+                max.to_string(),
+                if mean > 0.0 {
+                    format!("{:.2}", max as f64 / mean)
+                } else {
+                    "-".to_string()
+                },
+                format!("{route_ns:.1}"),
+                format!("{:.2}", ops.len() as f64 / serve.as_secs_f64() / 1e6),
+                identical.to_string(),
+            ]);
+            if reference.is_none() {
+                reference = Some(c);
+            }
+        }
+        out.push_str(&format!("--- scenario: {name} ---\n"));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_experiment_sweeps_nodes_and_stays_identical() {
+        let opts = Opts {
+            trials: 1,
+            seed: 3,
+            threads: 0,
+            full: false,
+        };
+        let text = cluster(&opts);
+        for name in SCENARIOS {
+            assert!(text.contains(name), "missing scenario {name}: {text}");
+        }
+        assert!(text.contains("identical"), "{text}");
+        assert!(
+            !text.contains("false"),
+            "a node count changed placement: {text}"
+        );
+    }
+}

@@ -156,6 +156,21 @@ pub fn gate_rates(
     );
     let mut report = String::new();
     let mut violations = Vec::new();
+    // Duplicate cells make the gate ambiguous: the match below takes the
+    // first cell at each point, so a malformed sweep with two rows for
+    // one (scenario, ingest, depth, producers) point would gate only one
+    // of them. Fail loudly on duplicates in either document instead.
+    for (label, cells) in [("baseline", baseline), ("candidate", candidate)] {
+        for (i, cell) in cells.iter().enumerate() {
+            if cells[..i].iter().any(|prior| prior.same_point(cell)) {
+                violations.push(format!(
+                    "duplicate cell {} in {label} document (only the first \
+                     occurrence would be gated)",
+                    cell.key()
+                ));
+            }
+        }
+    }
     // A candidate cell with no baseline counterpart means the sweep
     // changed shape without the committed file following — fail loudly
     // rather than leaving the new cell ungated.
@@ -482,6 +497,33 @@ mod tests {
         let cells = parse_cells(&doc(2.0e6, true)).unwrap();
         let err = gate_speedup(&cells, Some(1)).unwrap_err();
         assert!(err.contains("lacks the fan-out axis"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_candidate_cells_fail_loudly() {
+        let base = parse_cells(&doc(2.0e6, true)).unwrap();
+        let mut cand = base.clone();
+        // Two rows for one sweep point, second one slower: without the
+        // duplicate check the first-match lookup would gate only the
+        // healthy row.
+        let mut slow = cand[0].clone();
+        slow.rate = 1.0;
+        cand.push(slow);
+        let err = gate_rates(&base, &cand, 0.2).unwrap_err();
+        assert!(err.contains("duplicate cell"), "{err}");
+        assert!(err.contains("candidate document"), "{err}");
+        assert!(err.contains("uniform/pipelined depth 4"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_baseline_cells_fail_loudly() {
+        let cand = parse_cells(&doc(2.0e6, true)).unwrap();
+        let mut base = cand.clone();
+        base.push(base[1].clone());
+        let err = gate_rates(&base, &cand, 0.2).unwrap_err();
+        assert!(err.contains("duplicate cell"), "{err}");
+        assert!(err.contains("baseline document"), "{err}");
+        assert!(err.contains("uniform/phased"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cluster;
 pub mod engine;
 pub mod extensions;
 pub mod gate;
@@ -60,6 +61,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("engine", engine::engine),
     ("replay", replay::replay),
     ("pipeline", pipeline::pipeline),
+    ("cluster", cluster::cluster),
 ];
 
 /// Looks up an experiment by name.

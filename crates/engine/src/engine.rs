@@ -105,6 +105,61 @@ pub struct EngineConfig {
     pub ingest: IngestMode,
 }
 
+/// A structurally invalid [`EngineConfig`], caught at engine
+/// construction — before any ops flow — instead of deep inside a
+/// serving call mid-stream. Every variant's message names the builder
+/// call that produced the bad value, so the fix is one grep away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `EngineConfig::new` was given zero shards.
+    ZeroShards,
+    /// Pipelined ingestion was configured with a zero ring depth.
+    ZeroQueueDepth,
+    /// Pipelined ingestion was configured with a ring depth that is not
+    /// a power of two (the SPSC ring's granularity).
+    QueueDepthNotPowerOfTwo(usize),
+    /// Pipelined ingestion was configured with zero producer threads.
+    ZeroProducers,
+    /// A cluster was configured with zero partitions.
+    ZeroPartitions,
+    /// A cluster ring was configured with zero virtual nodes per node.
+    ZeroVnodes,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::ZeroShards => {
+                write!(f, "EngineConfig::new(0, ..): need at least one shard")
+            }
+            ConfigError::ZeroQueueDepth => write!(
+                f,
+                "EngineConfig::pipelined(0) / pipelined_producers(0, ..): \
+                 queue depth must be positive"
+            ),
+            ConfigError::QueueDepthNotPowerOfTwo(depth) => write!(
+                f,
+                "EngineConfig::pipelined({depth}): queue depth must be a \
+                 power of two (SPSC ring granularity)"
+            ),
+            ConfigError::ZeroProducers => write!(
+                f,
+                "EngineConfig::pipelined_producers(.., 0): need at least one producer"
+            ),
+            ConfigError::ZeroPartitions => write!(
+                f,
+                "ClusterConfig::partitions(0): need at least one partition"
+            ),
+            ConfigError::ZeroVnodes => write!(
+                f,
+                "ClusterConfig::vnodes(0): need at least one virtual node per node"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl EngineConfig {
     /// A config with random ties, seed 1, stream choices, the xoshiro
     /// generator, and persistent parallel application.
@@ -183,6 +238,34 @@ impl EngineConfig {
             queue_depth,
             producers,
         })
+    }
+
+    /// Checks the config's structural invariants, returning the first
+    /// violation. Engine constructors
+    /// ([`Engine::with_scheme_factory`]/[`Engine::by_name`]) call this and
+    /// panic with the error's message, so an `EngineConfig::pipelined(3)`
+    /// fails when the engine is built — naming the offending builder call
+    /// — rather than deep inside `serve_pipelined_producers` mid-run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if let IngestMode::Pipelined {
+            queue_depth,
+            producers,
+        } = self.ingest
+        {
+            if queue_depth == 0 {
+                return Err(ConfigError::ZeroQueueDepth);
+            }
+            if !queue_depth.is_power_of_two() {
+                return Err(ConfigError::QueueDepthNotPowerOfTwo(queue_depth));
+            }
+            if producers == 0 {
+                return Err(ConfigError::ZeroProducers);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -423,6 +506,11 @@ pub struct Engine<S> {
     started: Instant,
     /// Records emitted so far; the next record's sequence number.
     emitted: u64,
+    /// Non-fatal configuration hazards noticed while serving (e.g. a
+    /// pipelined `batch_size` smaller than the shard count, which clamps
+    /// every per-shard batch to one op). Results stay correct; drain via
+    /// [`Engine::take_warnings`].
+    warnings: Vec<String>,
 }
 
 impl<S: fmt::Debug> fmt::Debug for Engine<S> {
@@ -615,8 +703,17 @@ impl Engine<AnyScheme> {
 
 impl<S: ChoiceScheme + 'static> Engine<S> {
     /// Builds an engine, constructing one scheme per shard via `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`]'s message — which names the
+    /// offending builder call — if the config fails
+    /// [`EngineConfig::validate`], so a bad pipeline depth or producer
+    /// count is rejected here rather than mid-serve.
     pub fn with_scheme_factory(config: EngineConfig, factory: impl Fn(&EngineConfig) -> S) -> Self {
-        assert!(config.shards >= 1, "need at least one shard");
+        if let Err(err) = config.validate() {
+            panic!("invalid EngineConfig: {err}");
+        }
         let shards = (0..config.shards)
             .map(|id| Some(Shard::new(id, factory(&config), &config)))
             .collect();
@@ -630,6 +727,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             sink: None,
             started: Instant::now(),
             emitted: 0,
+            warnings: Vec::new(),
         }
     }
 
@@ -663,6 +761,17 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Drains the non-fatal configuration warnings recorded while
+    /// serving, oldest first. Warnings flag hazards that degrade
+    /// throughput but never correctness — today the one producer is
+    /// [`Engine::serve_replay`] clamping a pipelined `batch_size` smaller
+    /// than the shard count (see its docs). Each hazard is recorded once
+    /// per serving call, so callers polling between calls see every
+    /// occurrence.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.warnings)
     }
 
     /// The shard at `id`.
@@ -865,6 +974,15 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
+    ///
+    /// Under [`IngestMode::Pipelined`], `batch_size` keeps its phased
+    /// meaning — ops per *engine-wide* batch — and each shard worker
+    /// receives batches of `batch_size / shards` ops. A `batch_size`
+    /// smaller than the shard count therefore clamps every per-shard
+    /// batch to a single op, shipping one ring message per op: results
+    /// stay bit-identical, but the rings churn. The clamp records a
+    /// warning (see [`Engine::take_warnings`]) instead of silently
+    /// re-interpreting the argument.
     pub fn serve_replay(
         &mut self,
         ops: impl IntoIterator<Item = Op>,
@@ -881,6 +999,15 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             // granularity: each shard sees ~batch_size/shards ops per
             // batch under either mode, and a phased-vs-pipelined
             // comparison at the same `batch_size` isolates the overlap.
+            let shards = self.shards.len();
+            if batch_size < shards {
+                self.warnings.push(format!(
+                    "serve_replay: batch_size {batch_size} < {shards} shards under \
+                     IngestMode::Pipelined clamps every per-shard batch to 1 op \
+                     (one ring message per op); raise batch_size to at least the \
+                     shard count to amortize ring traffic"
+                ));
+            }
             let per_shard = (batch_size / self.shards.len()).max(1);
             return self.serve_pipelined_producers(ops, per_shard, queue_depth, producers);
         }
@@ -1571,6 +1698,76 @@ mod tests {
     #[should_panic(expected = "at least one producer")]
     fn zero_producers_rejected() {
         engine(2, WorkerMode::Persistent).serve_pipelined_producers([Op::Insert(1)], 8, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EngineConfig::pipelined(3)")]
+    fn invalid_pipeline_depth_rejected_at_construction() {
+        // The fail-fast contract: a bad queue depth dies when the engine
+        // is built — naming the builder call — never mid-serve.
+        let _ = Engine::by_name("double", EngineConfig::new(2, 64, 3).pipelined(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "EngineConfig::pipelined_producers(.., 0)")]
+    fn zero_pipeline_producers_rejected_at_construction() {
+        let _ = Engine::by_name(
+            "double",
+            EngineConfig::new(2, 64, 3).pipelined_producers(4, 0),
+        );
+    }
+
+    #[test]
+    fn validate_names_each_offending_builder_call() {
+        let base = EngineConfig::new(2, 64, 3);
+        assert_eq!(base.validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::new(0, 64, 3).validate(),
+            Err(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            base.clone().pipelined(0).validate(),
+            Err(ConfigError::ZeroQueueDepth)
+        );
+        assert_eq!(
+            base.clone().pipelined(6).validate(),
+            Err(ConfigError::QueueDepthNotPowerOfTwo(6))
+        );
+        assert_eq!(
+            base.clone().pipelined_producers(4, 0).validate(),
+            Err(ConfigError::ZeroProducers)
+        );
+        // Each message carries the builder call that produced the value.
+        let msg = ConfigError::QueueDepthNotPowerOfTwo(6).to_string();
+        assert!(msg.contains("EngineConfig::pipelined(6)"), "{msg}");
+        let msg = ConfigError::ZeroProducers.to_string();
+        assert!(msg.contains("pipelined_producers"), "{msg}");
+    }
+
+    #[test]
+    fn degenerate_pipelined_batch_size_warns_but_stays_bit_identical() {
+        // batch_size < shards under Pipelined clamps per-shard batches to
+        // one op: correctness must hold, and the hazard must be recorded.
+        let ops = mixed_ops(4_000);
+        let mut phased = engine(8, WorkerMode::Sequential);
+        let expected = phased.serve(&ops, 3);
+        assert!(phased.take_warnings().is_empty(), "phased path never warns");
+
+        let cfg = EngineConfig::new(8, 256, 3).seed(42).pipelined(4);
+        let mut pipelined = Engine::by_name("double", cfg).unwrap();
+        let got = pipelined.serve(&ops, 3);
+        assert_eq!(got, expected);
+        assert!(phased.stats().matches(&pipelined.stats()));
+        let warnings = pipelined.take_warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(
+            warnings[0].contains("batch_size 3 < 8 shards"),
+            "{warnings:?}"
+        );
+        // Drained: a second poll is empty; a healthy batch size never warns.
+        assert!(pipelined.take_warnings().is_empty());
+        pipelined.serve(&ops, 64);
+        assert!(pipelined.take_warnings().is_empty());
     }
 
     #[test]

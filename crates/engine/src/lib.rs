@@ -53,6 +53,16 @@
 //!   online per-op-kind load/probe percentiles
 //!   ([`OnlinePercentiles`]); snapshots from different engines (or
 //!   nodes) combine via [`EngineStats::merge`].
+//! * **Clustering** — [`cluster::Cluster`] fronts many engines behind a
+//!   consistent-hash ring ([`cluster::HashRing`], [`NODE_VNODES`] virtual
+//!   nodes per node): keys route to a *fixed* set of partitions
+//!   ([`cluster::partition_of`]), partitions map to nodes via the ring,
+//!   so node add/remove moves only ~1/N of keys and a 1-node vs N-node
+//!   cluster serves any stream bit-identically. Live rebalance moves
+//!   affected partitions wholesale ([`RebalanceMode::Transfer`]) or
+//!   drains them key by key through keyed delete→re-insert
+//!   ([`RebalanceMode::Drain`]), logging explainable divergences;
+//!   cluster-wide stats merge via [`EngineStats::merge`].
 //! * **Telemetry** — attaching a [`MetricsSink`] via [`Engine::set_sink`]
 //!   emits one [`MetricRecord`] per applied batch (size, op mix, apply
 //!   latency, and — on the pipelined path — bounded-queue occupancy and
@@ -83,6 +93,7 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod cluster;
 mod engine;
 mod metrics;
 mod op;
@@ -90,7 +101,10 @@ mod shard;
 mod sink;
 pub mod spsc;
 
-pub use engine::{route, ChoiceMode, Engine, EngineConfig, IngestMode, WorkerMode};
+pub use cluster::{
+    Cluster, ClusterConfig, HashRing, Placement, RebalanceMode, RebalanceReport, NODE_VNODES,
+};
+pub use engine::{route, ChoiceMode, ConfigError, Engine, EngineConfig, IngestMode, WorkerMode};
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
 pub use shard::Shard;

@@ -123,6 +123,16 @@ impl<S: ChoiceScheme> Shard<S> {
         self.index.len()
     }
 
+    /// Every key with at least one live ball, sorted ascending. The sort
+    /// makes the enumeration deterministic (the index is a `HashMap`), so
+    /// callers that replay the result — cluster rebalance drains, the
+    /// placement map — are reproducible run to run.
+    pub fn live_key_ids(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Operation counters accumulated over the shard's lifetime.
     pub fn lifetime_summary(&self) -> &BatchSummary {
         &self.lifetime

@@ -1,0 +1,116 @@
+//! Property tests for the cluster tier's two routing contracts:
+//!
+//! 1. **Ring stability** — `Cluster::node_for` only changes for keys
+//!    owned by the node being added or removed: an add steals keys
+//!    exclusively for the new node, and removing it restores every
+//!    ownership exactly.
+//! 2. **Node-count invariance** — an N-node cluster serving a capture
+//!    produces merged [`EngineStats`] (and per-key placement) equal to
+//!    the 1-node cluster over the same capture: topology decides
+//!    ownership, never placement.
+
+use ba_engine::cluster::{partition_of, ring_position};
+use ba_engine::{Cluster, ClusterConfig, EngineConfig, HashRing, Op};
+use proptest::prelude::*;
+
+/// Sampled node ids, deduplicated (the ring rejects duplicates).
+fn distinct_nodes(raw: Vec<u64>) -> Vec<u64> {
+    let mut nodes = raw;
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Decodes a sampled `(key, kind)` pair into an op over a small keyspace
+/// so deletes and lookups actually hit live keys.
+fn decode_op(key: u64, kind: u8) -> Op {
+    let key = key % 512;
+    match kind % 4 {
+        0 | 1 => Op::Insert(key),
+        2 => Op::Delete(key),
+        _ => Op::Lookup(key),
+    }
+}
+
+fn cluster_at(nodes: &[u64], partitions: usize) -> Cluster<ba_hash::AnyScheme> {
+    let engine = EngineConfig::new(2, 64, 3).seed(2014).keyed().sequential();
+    let config = ClusterConfig::new(engine).partitions(partitions);
+    Cluster::by_name("double", config, nodes).expect("known scheme")
+}
+
+proptest! {
+    #[test]
+    fn node_add_remove_moves_only_the_touched_nodes_keys(
+        raw_nodes in proptest::collection::vec(0u64..1_000, 1..8),
+        extra in 1_000u64..2_000,
+        keys in proptest::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let nodes = distinct_nodes(raw_nodes);
+        let partitions = 64usize;
+        let mut ring = HashRing::new(16);
+        for &node in &nodes {
+            ring.add_node(node);
+        }
+        let owner = |ring: &HashRing, key: u64| {
+            ring.owner(ring_position(partition_of(key, partitions)))
+        };
+        let before: Vec<u64> = keys.iter().map(|&k| owner(&ring, k)).collect();
+
+        // Adding a node steals keys only for itself.
+        prop_assert!(ring.add_node(extra));
+        for (&key, &was) in keys.iter().zip(&before) {
+            let now = owner(&ring, key);
+            prop_assert!(
+                now == was || now == extra,
+                "key {key} moved {was} -> {now}, not to the added node {extra}"
+            );
+        }
+
+        // Removing it restores every ownership exactly.
+        prop_assert!(ring.remove_node(extra));
+        for (&key, &was) in keys.iter().zip(&before) {
+            prop_assert_eq!(owner(&ring, key), was);
+        }
+
+        // Removing an original member only moves that member's keys.
+        if nodes.len() > 1 {
+            let victim = nodes[0];
+            prop_assert!(ring.remove_node(victim));
+            for (&key, &was) in keys.iter().zip(&before) {
+                let now = owner(&ring, key);
+                if was == victim {
+                    prop_assert!(now != victim, "key {key} still owned by removed {victim}");
+                } else {
+                    prop_assert_eq!(now, was);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n_node_stats_equal_single_node_stats(
+        encoded in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..300),
+        node_count in 2usize..5,
+    ) {
+        let ops: Vec<Op> = encoded.into_iter().map(|(k, kind)| decode_op(k, kind)).collect();
+        let mut single = cluster_at(&[0], 8);
+        let nodes: Vec<u64> = (0..node_count as u64).collect();
+        let mut spread = cluster_at(&nodes, 8);
+
+        let a = single.serve(&ops, 32);
+        let b = spread.serve(&ops, 32);
+        prop_assert_eq!(a, b);
+
+        let divergences = single.stats().divergences(&spread.stats());
+        prop_assert!(divergences.is_empty(), "{:?}", divergences);
+        prop_assert!(single.placement_divergences(&spread).is_empty());
+
+        // Per-node stats partition the whole: their merge equals the
+        // cluster-wide snapshot ball count.
+        let per_node: u64 = nodes
+            .iter()
+            .map(|&n| spread.node_stats(n).total_balls())
+            .sum();
+        prop_assert_eq!(per_node, spread.total_balls());
+    }
+}

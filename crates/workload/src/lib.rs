@@ -207,6 +207,13 @@ pub fn drive<S: ChoiceScheme + 'static>(
     batch_size: usize,
 ) -> DriveReport {
     assert!(batch_size > 0, "batch size must be positive");
+    // Engine construction already validates, but drive is the boundary
+    // where generated traffic meets the engine: re-check here so no ops
+    // can ever flow into a structurally invalid config, whatever
+    // constructor produced it.
+    if let Err(err) = engine.config().validate() {
+        panic!("invalid EngineConfig: {err}");
+    }
     if let IngestMode::Pipelined {
         queue_depth,
         producers,

@@ -447,6 +447,64 @@ fn ample_queue_depth_records_zero_stalls() {
 }
 
 #[test]
+#[should_panic(expected = "EngineConfig::pipelined(3)")]
+fn workload_path_rejects_non_power_of_two_queue_depth_at_construction() {
+    // Fail-fast satellite: a queue depth that is not a power of two dies
+    // when the engine is built — before any ops are generated — and the
+    // panic names the offending builder call.
+    let _ = run_scenario(
+        "double",
+        &Scenario::Adversarial,
+        config(4, 128, 3, 7).pipelined(3),
+        512,
+        1_000,
+        256,
+    );
+}
+
+#[test]
+#[should_panic(expected = "EngineConfig::pipelined_producers(.., 0)")]
+fn workload_path_rejects_zero_producers_at_construction() {
+    let _ = run_scenario(
+        "double",
+        &Scenario::Adversarial,
+        config(4, 128, 3, 7).pipelined_producers(4, 0),
+        512,
+        1_000,
+        256,
+    );
+}
+
+#[test]
+fn degenerate_pipelined_batch_size_warns_and_matches_phased() {
+    // Satellite acceptance: batch_size below the shard count under
+    // IngestMode::Pipelined clamps every per-shard batch to one op. The
+    // engine must say so through its warning channel while staying
+    // bit-identical to phased serving of the same stream.
+    let ops: Vec<Op> = (0..4_000u64)
+        .map(|i| match i % 5 {
+            0..=2 => Op::Insert(i % 300),
+            3 => Op::Lookup(i % 300),
+            _ => Op::Delete(i % 300),
+        })
+        .collect();
+    let mut phased = Engine::by_name("double", config(8, 256, 3, 7).keyed()).unwrap();
+    let expected = phased.serve(&ops, 5);
+    let mut pipelined =
+        Engine::by_name("double", config(8, 256, 3, 7).keyed().pipelined(4)).unwrap();
+    let summary = pipelined.serve_replay(ops.iter().copied(), 5);
+    assert_eq!(summary, expected);
+    assert!(phased.stats().matches(&pipelined.stats()));
+    let warnings = pipelined.take_warnings();
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(
+        warnings[0].contains("batch_size 5 < 8 shards"),
+        "{warnings:?}"
+    );
+    assert!(pipelined.take_warnings().is_empty(), "warnings must drain");
+}
+
+#[test]
 fn phased_ingestion_records_no_queue_pressure() {
     // Phased serving has no queues at all: every record is engine-wide
     // (shard None) with zeroed stall and occupancy fields.
