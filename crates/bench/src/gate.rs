@@ -142,9 +142,17 @@ pub fn parse_parallelism(text: &str) -> Option<u64> {
 
 /// Compares candidate cells against baseline cells. `tolerance` is the
 /// allowed fractional rate drop (0.20 = a cell may be up to 20% slower
-/// than its baseline). Returns a per-cell report on success; an error
-/// listing every violation — regressed cell, missing cell, extra cell,
+/// than its baseline). The floor is *inclusive*: a candidate at exactly
+/// `baseline × (1 − tolerance)` passes, anything strictly below fails.
+/// Returns a per-cell report on success; an error listing every
+/// violation — regressed cell, missing cell, extra cell, unusable rate,
 /// or failed bit-identity — on failure.
+///
+/// Rates must be finite and strictly positive in *both* documents. A
+/// NaN rate (which `parse_cells` accepts — `"NaN".parse::<f64>()`
+/// succeeds) would otherwise sail through the `<` comparison below, and
+/// a zero or negative baseline rate makes the floor vacuous: either way
+/// a malformed `BENCH_pipeline.json` would silently pass the gate.
 pub fn gate_rates(
     baseline: &[CellRate],
     candidate: &[CellRate],
@@ -156,6 +164,18 @@ pub fn gate_rates(
     );
     let mut report = String::new();
     let mut violations = Vec::new();
+    for (label, cells) in [("baseline", baseline), ("candidate", candidate)] {
+        for cell in cells {
+            if !cell.rate.is_finite() || cell.rate <= 0.0 {
+                violations.push(format!(
+                    "cell {} in {label} document has unusable ops_per_sec {} \
+                     (need a finite rate > 0; malformed document?)",
+                    cell.key(),
+                    cell.rate
+                ));
+            }
+        }
+    }
     // Duplicate cells make the gate ambiguous: the match below takes the
     // first cell at each point, so a malformed sweep with two rows for
     // one (scenario, ingest, depth, producers) point would gate only one
@@ -416,6 +436,65 @@ mod tests {
         let err = gate_rates(&base, &cand, 0.2).unwrap_err();
         assert!(err.contains("uniform/pipelined depth 4"), "{err}");
         assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn candidate_exactly_at_the_floor_passes_and_below_fails() {
+        let base = parse_cells(&doc(2.0e6, true)).unwrap();
+        let mut cand = base.clone();
+        // The floor bound is closed: exactly 20% down is still within
+        // tolerance; one ulp below is not.
+        cand[0].rate = base[0].rate * (1.0 - 0.2);
+        assert!(gate_rates(&base, &cand, 0.2).is_ok());
+        cand[0].rate = f64::from_bits(cand[0].rate.to_bits() - 1);
+        let err = gate_rates(&base, &cand, 0.2).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn nan_and_nonpositive_rates_fail_in_either_document() {
+        let good = parse_cells(&doc(2.0e6, true)).unwrap();
+        for bad_rate in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0e6] {
+            for side in ["baseline", "candidate"] {
+                let mut bad = good.clone();
+                bad[0].rate = bad_rate;
+                let (b, c) = if side == "baseline" {
+                    (&bad, &good)
+                } else {
+                    (&good, &bad)
+                };
+                let err = gate_rates(b, c, 0.2).unwrap_err();
+                assert!(
+                    err.contains("unusable ops_per_sec"),
+                    "rate {bad_rate} in {side}: {err}"
+                );
+                assert!(err.contains(side), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_cell_in_only_one_document_fails_loudly() {
+        // The rounds sweep writes `"ingest": "rounds"` cells with no
+        // queue depth; a document that grew (or lost) them without its
+        // counterpart following must not slide through unmatched.
+        let base = parse_cells(&doc(2.0e6, true)).unwrap();
+        let mut with_rounds = base.clone();
+        with_rounds.push(CellRate {
+            scenario: "uniform".into(),
+            ingest: "rounds".into(),
+            depth: None,
+            producers: Some(4),
+            rate: 1.5e6,
+            identical: true,
+        });
+        let err = gate_rates(&base, &with_rounds, 0.2).unwrap_err();
+        assert!(err.contains("uniform/rounds x4 not in baseline"), "{err}");
+        let err = gate_rates(&with_rounds, &base, 0.2).unwrap_err();
+        assert!(
+            err.contains("uniform/rounds x4 missing from candidate"),
+            "{err}"
+        );
     }
 
     #[test]

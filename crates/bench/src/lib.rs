@@ -26,6 +26,7 @@ pub mod gate;
 pub mod opts;
 pub mod pipeline;
 pub mod replay;
+pub mod rounds;
 pub mod tables;
 pub mod theory;
 
@@ -62,6 +63,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("replay", replay::replay),
     ("pipeline", pipeline::pipeline),
     ("cluster", cluster::cluster),
+    ("rounds", rounds::rounds),
 ];
 
 /// Looks up an experiment by name.

@@ -340,6 +340,11 @@ pub struct Cluster<S> {
     /// Per-partition batch buffers for [`Cluster::serve_replay`]; reused
     /// across flushes so steady-state fan-out allocates nothing.
     filling: Vec<Vec<Op>>,
+    /// Warnings rescued from partition engines that were *replaced*
+    /// (Drain rebalance swaps in a fresh engine) before a cluster-level
+    /// [`Cluster::take_warnings`] drained them. `(partition, warning)`
+    /// in emission order.
+    pending_warnings: Vec<(usize, String)>,
 }
 
 impl<S: fmt::Debug> fmt::Debug for Cluster<S> {
@@ -403,6 +408,7 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
             engines,
             factory,
             filling,
+            pending_warnings: Vec::new(),
         }
     }
 
@@ -544,14 +550,26 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
 
     /// Drains the configuration warnings of every partition engine (see
     /// [`Engine::take_warnings`]), each prefixed with its partition id.
+    ///
+    /// Nothing is ever lost between two cluster-level drains: warnings a
+    /// partition engine emitted before being replaced by a `Drain`
+    /// rebalance are staged and surface here. Ordering is deterministic
+    /// — ascending partition index, then emission order within the
+    /// partition (staged warnings predate the current engine's).
     pub fn take_warnings(&mut self) -> Vec<String> {
-        let mut all = Vec::new();
+        let mut staged = std::mem::take(&mut self.pending_warnings);
         for (p, engine) in self.engines.iter_mut().enumerate() {
             for warning in engine.take_warnings() {
-                all.push(format!("partition {p}: {warning}"));
+                staged.push((p, warning));
             }
         }
-        all
+        // Stable sort: within a partition, staged (older) warnings keep
+        // their place ahead of the live engine's.
+        staged.sort_by_key(|(p, _)| *p);
+        staged
+            .into_iter()
+            .map(|(p, warning)| format!("partition {p}: {warning}"))
+            .collect()
     }
 
     /// Every live key's [`Placement`], keyed by key — the differential
@@ -787,6 +805,11 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
             }
         }
         debug_assert_eq!(self.engines[partition].total_balls(), 0, "drain left balls");
+        // The outgoing engine may hold warnings no cluster-level drain
+        // has collected yet; stage them so the swap loses nothing.
+        let outgoing = self.engines[partition].take_warnings();
+        self.pending_warnings
+            .extend(outgoing.into_iter().map(|w| (partition, w)));
         self.engines[partition] = destination;
     }
 }
@@ -960,6 +983,48 @@ mod tests {
         twin.add_node(9, RebalanceMode::Drain);
         assert!(c.placement_divergences(&twin).is_empty());
         assert_eq!(c.total_balls(), twin.total_balls());
+    }
+
+    #[test]
+    fn take_warnings_loses_nothing_across_interleaved_serves_and_drains() {
+        // Pipelined partitions warn on every engine-level serve whose
+        // batch_size sits below the shard count; the cluster must
+        // surface all of them even when a Drain rebalance swaps fresh
+        // engines in between two cluster-level drains.
+        let engine = EngineConfig::new(2, 128, 3).seed(2014).keyed().pipelined(4);
+        let cfg = ClusterConfig::new(engine).partitions(4);
+        let mut c = Cluster::by_name("double", cfg, &[0, 1]).unwrap();
+        let ops = insert_stream(8);
+        c.serve(&ops, 1); // batch_size 1 < 2 shards: one warning per flush
+        let first = c.take_warnings();
+        assert_eq!(first.len(), ops.len(), "{first:?}");
+        assert!(first.iter().all(|w| w.contains("batch_size 1 < 2 shards")));
+        // Interleave: warn again, swap engines via Drain, warn once more
+        // — all before the next cluster-level drain.
+        c.serve(&ops, 1);
+        let report = c.add_node(7, RebalanceMode::Drain);
+        assert!(!report.moved.is_empty(), "64 vnodes claimed no partition");
+        c.serve(&ops, 1);
+        let second = c.take_warnings();
+        assert_eq!(
+            second.len(),
+            2 * ops.len(),
+            "engine swap dropped warnings: {second:?}"
+        );
+        // Deterministic ordering: ascending partition index.
+        let partitions: Vec<usize> = second
+            .iter()
+            .map(|w| {
+                w.strip_prefix("partition ")
+                    .and_then(|rest| rest.split(':').next())
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or_else(|| panic!("unprefixed warning: {w}"))
+            })
+            .collect();
+        let mut sorted = partitions.clone();
+        sorted.sort_unstable();
+        assert_eq!(partitions, sorted, "warnings must ascend by partition");
+        assert!(c.take_warnings().is_empty(), "drain must be exhaustive");
     }
 
     #[test]

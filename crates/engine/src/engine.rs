@@ -3,6 +3,7 @@
 use crate::channel;
 use crate::metrics::{EngineStats, ShardStats};
 use crate::op::{BatchSummary, Op};
+use crate::rounds::{tie_hash, Proposal, RoundReport, RoundsState, Winner};
 use crate::shard::Shard;
 use crate::sink::{MetricRecord, MetricsSink};
 use crate::spsc;
@@ -60,6 +61,26 @@ pub enum IngestMode {
         /// Number of producer threads routing the op stream. 1 routes on
         /// the calling thread (no fan-out stage); `N > 1` spawns N
         /// routing threads fed round-robin with stream chunks.
+        producers: usize,
+    },
+    /// Resolve each batch's inserts in synchronized bulk-parallel
+    /// rounds over the *global* bin space (see [`crate::rounds`]):
+    /// every pending ball proposes its next keyed probe, bins accept
+    /// proposals below the round's load threshold in salted-key-hash
+    /// tie order, and losers re-propose next round. Deletes and lookups
+    /// apply at batch barriers against pre-batch state. Placement is a
+    /// pure function of *(batch contents as a multiset, seed)* —
+    /// independent of op order within the batch, worker mode, producer
+    /// count, and shard count — a strictly stronger determinism
+    /// contract than the other modes' bit-identity to sequential
+    /// serving. [`ChoiceMode`] and [`ba_core::TieBreak`] are ignored:
+    /// probes are always keyed off the rounds salt and ties always
+    /// break by key hash.
+    Rounds {
+        /// Number of threads deriving probe vectors in the propose
+        /// step. 1 proposes on the calling thread; `N > 1` splits the
+        /// batch's balls into N contiguous chunks, one scoped thread
+        /// each. Results never depend on this value.
         producers: usize,
     },
 }
@@ -120,6 +141,8 @@ pub enum ConfigError {
     QueueDepthNotPowerOfTwo(usize),
     /// Pipelined ingestion was configured with zero producer threads.
     ZeroProducers,
+    /// Rounds ingestion was configured with zero propose threads.
+    ZeroRoundsProducers,
     /// A cluster was configured with zero partitions.
     ZeroPartitions,
     /// A cluster ring was configured with zero virtual nodes per node.
@@ -145,6 +168,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroProducers => write!(
                 f,
                 "EngineConfig::pipelined_producers(.., 0): need at least one producer"
+            ),
+            ConfigError::ZeroRoundsProducers => write!(
+                f,
+                "EngineConfig::rounds_producers(0): need at least one propose thread"
             ),
             ConfigError::ZeroPartitions => write!(
                 f,
@@ -240,6 +267,19 @@ impl EngineConfig {
         })
     }
 
+    /// Selects round-based bulk-parallel ingestion with probe
+    /// derivation on the calling thread (see [`IngestMode::Rounds`]).
+    pub fn rounds(self) -> Self {
+        self.rounds_producers(1)
+    }
+
+    /// Selects round-based bulk-parallel ingestion with `producers`
+    /// propose threads (see [`IngestMode::Rounds`]). Results never
+    /// depend on the thread count.
+    pub fn rounds_producers(self, producers: usize) -> Self {
+        self.ingest(IngestMode::Rounds { producers })
+    }
+
     /// Checks the config's structural invariants, returning the first
     /// violation. Engine constructors
     /// ([`Engine::with_scheme_factory`]/[`Engine::by_name`]) call this and
@@ -263,6 +303,11 @@ impl EngineConfig {
             }
             if producers == 0 {
                 return Err(ConfigError::ZeroProducers);
+            }
+        }
+        if let IngestMode::Rounds { producers } = self.ingest {
+            if producers == 0 {
+                return Err(ConfigError::ZeroRoundsProducers);
             }
         }
         Ok(())
@@ -322,6 +367,17 @@ enum Job<S> {
         /// sink is attached, so untracked streams pay nothing).
         track: bool,
     },
+    /// Rounds mode: resolve one synchronized round's proposals against
+    /// this shard's bins (see [`crate::rounds`]) and report the winners.
+    Resolve {
+        /// The worker's shard, shipped for the duration of the round.
+        shard: Shard<S>,
+        /// This shard's slice of the round's proposals (bins are
+        /// shard-local).
+        proposals: Vec<Proposal>,
+        /// The round's load threshold: bins accept while below it.
+        threshold: u32,
+    },
 }
 
 /// What a worker reports after finishing a job: the shard (returned to
@@ -335,6 +391,9 @@ struct JobDone<S> {
     summary: BatchSummary,
     buffer: Vec<Op>,
     applies: Vec<Duration>,
+    /// Accepted proposals of a [`Job::Resolve`] round; empty for
+    /// batch/stream jobs.
+    winners: Vec<Winner>,
 }
 
 /// The persistent worker pool: one long-lived thread per shard, fed
@@ -371,6 +430,21 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
                                     summary,
                                     buffer: ops,
                                     applies: Vec::new(),
+                                    winners: Vec::new(),
+                                }
+                            }
+                            Job::Resolve {
+                                mut shard,
+                                proposals,
+                                threshold,
+                            } => {
+                                let winners = shard.rounds_resolve(proposals, threshold);
+                                JobDone {
+                                    shard,
+                                    summary: BatchSummary::default(),
+                                    buffer: Vec::new(),
+                                    applies: Vec::new(),
+                                    winners,
                                 }
                             }
                             Job::Stream {
@@ -422,6 +496,7 @@ impl<S: ChoiceScheme + 'static> WorkerPool<S> {
                                     summary,
                                     buffer: Vec::new(),
                                     applies,
+                                    winners: Vec::new(),
                                 }
                             }
                         };
@@ -511,6 +586,10 @@ pub struct Engine<S> {
     /// every per-shard batch to one op). Results stay correct; drain via
     /// [`Engine::take_warnings`].
     warnings: Vec<String>,
+    /// Rounds-mode companion state (global scheme, salt, key index,
+    /// report). `Some` exactly when the config's ingest mode is
+    /// [`IngestMode::Rounds`].
+    rounds: Option<RoundsState<S>>,
 }
 
 impl<S: fmt::Debug> fmt::Debug for Engine<S> {
@@ -717,6 +796,20 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         let shards = (0..config.shards)
             .map(|id| Some(Shard::new(id, factory(&config), &config)))
             .collect();
+        // Rounds mode places over the global bin space: build one extra
+        // scheme spanning every shard's bins by handing the factory a
+        // synthetic single-shard config of the global size.
+        let rounds = matches!(config.ingest, IngestMode::Rounds { .. }).then(|| {
+            let mut global = config.clone();
+            global.bins_per_shard = config.shards as u64 * config.bins_per_shard;
+            global.shards = 1;
+            RoundsState::new(
+                factory(&global),
+                config.seed,
+                config.shards,
+                config.bins_per_shard,
+            )
+        });
         Self {
             config,
             shards,
@@ -728,6 +821,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             started: Instant::now(),
             emitted: 0,
             warnings: Vec::new(),
+            rounds,
         }
     }
 
@@ -788,6 +882,13 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
     /// Read access to the shards (metrics, tests), indexed by shard id.
     pub fn shards(&self) -> Vec<&Shard<S>> {
         self.iter_shards().collect()
+    }
+
+    /// Mutable access to one shard between batches (internal).
+    fn shard_slot(&mut self, id: usize) -> &mut Shard<S> {
+        self.shards[id]
+            .as_mut()
+            .expect("shard present between batches")
     }
 
     /// Allocation-free shard iteration for internal aggregates.
@@ -872,6 +973,9 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
 
     /// The sink-free batch application path shared by every worker mode.
     fn apply_batch_inner(&mut self, ops: &[Op]) -> BatchSummary {
+        if let IngestMode::Rounds { producers } = self.config.ingest {
+            return self.apply_batch_rounds(ops, producers);
+        }
         let mut total = BatchSummary::default();
         if self.shards.len() == 1 {
             // One shard: everything routes to it — apply the batch slice
@@ -946,6 +1050,298 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             }
         }
         total
+    }
+
+    /// Drains the accumulated [`RoundReport`] (rounds taken,
+    /// re-proposals per round, max load) under [`IngestMode::Rounds`].
+    /// Returns `None` when the engine is not in rounds mode; subsequent
+    /// calls return a fresh report covering only batches resolved since
+    /// this one.
+    pub fn take_round_report(&mut self) -> Option<RoundReport> {
+        self.rounds
+            .as_mut()
+            .map(|st| std::mem::take(&mut st.report))
+    }
+
+    /// The rounds-ingestion batch path (see [`crate::rounds`] for the
+    /// algorithm and its determinism contract): lookups observe
+    /// pre-batch state, deletes apply in ascending key order against
+    /// pre-batch placements, then the batch's inserts resolve in
+    /// synchronized propose/resolve rounds over the global bin space.
+    fn apply_batch_rounds(&mut self, ops: &[Op], producers: usize) -> BatchSummary {
+        let mut st = self
+            .rounds
+            .take()
+            .expect("rounds state present under IngestMode::Rounds");
+        let mut summary = BatchSummary::default();
+        let shards = self.shards.len();
+        let bins_per_shard = self.config.bins_per_shard;
+
+        // Barrier 1: lookups, against the placements the batch started
+        // with. Each lookup reads the global index independently, so
+        // the recorded depths form a multiset pure in the batch's
+        // lookup keys — op order never matters. Observations attribute
+        // to the key's routed shard, matching the other ingest modes.
+        for &op in ops {
+            if let Op::Lookup(key) = op {
+                let depth = st.index.get(&key).map_or(0, Vec::len) as u32;
+                self.shard_slot(route(key, shards)).rounds_lookup(depth);
+                summary.lookups += 1;
+                summary.hits += u64::from(depth > 0);
+            }
+        }
+
+        // Barrier 2: deletes, against pre-batch placements, resolved in
+        // ascending key order (LIFO within a key's stack) so the
+        // outcome is pure in the batch's delete multiset. Inserts from
+        // this same batch are not yet placed and thus not deletable — a
+        // documented semantic difference from sequential ingestion.
+        let mut deletes: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Delete(k) => Some(*k),
+                _ => None,
+            })
+            .collect();
+        deletes.sort_unstable();
+        for key in deletes {
+            match st.index.get_mut(&key) {
+                Some(stack) => {
+                    let global = stack.pop().expect("index never holds empty stacks");
+                    if stack.is_empty() {
+                        st.index.remove(&key);
+                    }
+                    let owner = (global / bins_per_shard) as usize;
+                    self.shard_slot(owner)
+                        .rounds_delete(global % bins_per_shard);
+                    summary.deletes += 1;
+                }
+                None => {
+                    self.shard_slot(route(key, shards)).rounds_missed_delete();
+                    summary.missed_deletes += 1;
+                }
+            }
+        }
+
+        // The batch's balls, in canonical (key, duplicate-index) order:
+        // every later step is indexed by position in this list, so the
+        // whole resolution is pure in the insert multiset.
+        let mut keys: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert(k) => Some(*k),
+                _ => None,
+            })
+            .collect();
+        keys.sort_unstable();
+        let balls = keys.len();
+        st.report.batches += 1;
+        if balls == 0 {
+            self.rounds = Some(st);
+            return summary;
+        }
+        let d = self.config.d;
+
+        // Propose prep: each ball's d global probes and its tie hash,
+        // derived once. `instance` numbers duplicate inserts of a key so
+        // their ties differ. The derivation is embarrassingly parallel:
+        // `producers` scoped threads fill disjoint chunks of the arena.
+        let mut instances = vec![0u64; balls];
+        for i in 1..balls {
+            if keys[i] == keys[i - 1] {
+                instances[i] = instances[i - 1] + 1;
+            }
+        }
+        let mut probes = vec![0u64; balls * d];
+        let mut ties = vec![0u64; balls];
+        {
+            let scheme = &st.scheme;
+            let salt = st.salt;
+            let fill = |keys: &[u64], inst: &[u64], probes: &mut [u64], ties: &mut [u64]| {
+                for (i, (&key, &instance)) in keys.iter().zip(inst).enumerate() {
+                    scheme.choices_for(key, salt, &mut probes[i * d..(i + 1) * d]);
+                    ties[i] = tie_hash(key, salt, instance);
+                }
+            };
+            if producers > 1 && balls >= producers {
+                let chunk = balls.div_ceil(producers);
+                std::thread::scope(|scope| {
+                    for (((keys, inst), probes), ties) in keys
+                        .chunks(chunk)
+                        .zip(instances.chunks(chunk))
+                        .zip(probes.chunks_mut(chunk * d))
+                        .zip(ties.chunks_mut(chunk))
+                    {
+                        scope.spawn(move || fill(keys, inst, probes, ties));
+                    }
+                });
+            } else {
+                fill(&keys, &instances, &mut probes, &mut ties);
+            }
+        }
+
+        // The round loop. The threshold starts one above the emptiest
+        // bin and rises by one whenever d consecutive rounds place
+        // nothing — by then every pending ball has offered all d of its
+        // probes at the current threshold, so raising it is the only
+        // way forward (and guarantees termination).
+        let mut threshold = self
+            .iter_shards()
+            .flat_map(|s| s.allocation().loads().iter().copied())
+            .min()
+            .expect("at least one bin")
+            + 1;
+        let mut pending: Vec<u32> = (0..balls as u32).collect();
+        let mut cursor = vec![0u8; balls];
+        let mut placed = vec![false; balls];
+        let mut placed_bins = vec![0u64; balls];
+        let mut proposals: Vec<Vec<Proposal>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut zero_streak = 0usize;
+        let mut rounds_this_batch = 0u64;
+        while !pending.is_empty() {
+            for buf in &mut proposals {
+                buf.clear();
+            }
+            for &ball in &pending {
+                let b = ball as usize;
+                let global = probes[b * d + cursor[b] as usize];
+                proposals[(global / bins_per_shard) as usize].push(Proposal {
+                    ball,
+                    bin: global % bins_per_shard,
+                    tie: ties[b],
+                    probe: cursor[b],
+                });
+            }
+            let winners = self.resolve_round(&mut proposals, threshold);
+            let mut placed_now = 0u64;
+            for (shard_id, accepted) in winners.iter().enumerate() {
+                for w in accepted {
+                    placed[w.ball as usize] = true;
+                    placed_bins[w.ball as usize] = shard_id as u64 * bins_per_shard + w.bin;
+                    placed_now += 1;
+                }
+            }
+            pending.retain(|&ball| !placed[ball as usize]);
+            for &ball in &pending {
+                let b = ball as usize;
+                cursor[b] = if usize::from(cursor[b]) + 1 == d {
+                    0
+                } else {
+                    cursor[b] + 1
+                };
+            }
+            let round = rounds_this_batch as usize;
+            rounds_this_batch += 1;
+            if !pending.is_empty() {
+                if st.report.reproposals.len() <= round {
+                    st.report.reproposals.resize(round + 1, 0);
+                }
+                st.report.reproposals[round] += pending.len() as u64;
+            }
+            if placed_now == 0 {
+                zero_streak += 1;
+                if zero_streak == d {
+                    threshold += 1;
+                    zero_streak = 0;
+                }
+            } else {
+                zero_streak = 0;
+            }
+        }
+
+        // Commit placements to the global index in canonical ball
+        // order, so a key's LIFO stack is also pure in the batch set.
+        for b in 0..balls {
+            st.index.entry(keys[b]).or_default().push(placed_bins[b]);
+        }
+        summary.inserts += balls as u64;
+        st.report.balls += balls as u64;
+        st.report.rounds += rounds_this_batch;
+        st.report.max_rounds_per_batch = st.report.max_rounds_per_batch.max(rounds_this_batch);
+        st.report.max_load = st.report.max_load.max(self.max_load());
+        self.rounds = Some(st);
+        summary
+    }
+
+    /// Resolves one synchronized round across the shards, dispatching on
+    /// the configured [`WorkerMode`] exactly like phased batches:
+    /// inline, scoped threads, or the persistent pool via
+    /// [`Job::Resolve`]. Returns each shard's accepted proposals,
+    /// indexed by shard id. The outcome is mode-independent: a bin's
+    /// acceptances depend only on its own proposals and threshold.
+    fn resolve_round(
+        &mut self,
+        proposals: &mut [Vec<Proposal>],
+        threshold: u32,
+    ) -> Vec<Vec<Winner>> {
+        let shards = self.shards.len();
+        match self.config.workers {
+            WorkerMode::Sequential => self
+                .shards
+                .iter_mut()
+                .zip(proposals.iter_mut())
+                .map(|(slot, props)| {
+                    if props.is_empty() {
+                        return Vec::new();
+                    }
+                    let shard = slot.as_mut().expect("shard present between batches");
+                    shard.rounds_resolve(std::mem::take(props), threshold)
+                })
+                .collect(),
+            WorkerMode::Scoped => std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(proposals.iter_mut())
+                    .map(|(slot, props)| {
+                        if props.is_empty() {
+                            return None;
+                        }
+                        let shard = slot.as_mut().expect("shard present between batches");
+                        let props = std::mem::take(props);
+                        Some(scope.spawn(move || shard.rounds_resolve(props, threshold)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| match handle {
+                        Some(handle) => handle.join().expect("shard worker panicked"),
+                        None => Vec::new(),
+                    })
+                    .collect()
+            }),
+            WorkerMode::Persistent => {
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(shards));
+                for (id, props) in proposals.iter_mut().enumerate() {
+                    if props.is_empty() {
+                        continue;
+                    }
+                    let shard = self.shards[id]
+                        .take()
+                        .expect("shard present between batches");
+                    let job = Job::Resolve {
+                        shard,
+                        proposals: std::mem::take(props),
+                        threshold,
+                    };
+                    if pool.jobs[id].send(job).is_err() {
+                        panic!("shard worker {id} exited early");
+                    }
+                }
+                let mut winners: Vec<Vec<Winner>> = (0..shards).map(|_| Vec::new()).collect();
+                for (id, slot) in winners.iter_mut().enumerate() {
+                    if self.shards[id].is_some() {
+                        continue; // no proposals reached this shard
+                    }
+                    let done = pool.results[id]
+                        .recv()
+                        .unwrap_or_else(|_| panic!("shard worker {id} panicked"));
+                    self.shards[id] = Some(done.shard);
+                    *slot = done.winners;
+                }
+                winners
+            }
+        }
     }
 
     /// Applies a long op stream in `batch_size` chunks; returns the overall
@@ -2161,5 +2557,153 @@ mod tests {
                 assert_eq!(a.allocation().loads(), b.allocation().loads());
             }
         }
+    }
+
+    /// Concatenated per-shard bin loads in shard order — the global bin
+    /// vector the rounds determinism contract is stated over.
+    fn global_loads(engine: &Engine<AnyScheme>) -> Vec<u32> {
+        engine
+            .shards()
+            .iter()
+            .flat_map(|s| s.allocation().loads().to_vec())
+            .collect()
+    }
+
+    fn rounds_engine(shards: usize, workers: WorkerMode, producers: usize) -> Engine<AnyScheme> {
+        let bins = 1024 / shards as u64; // constant 1024 global bins
+        let cfg = EngineConfig::new(shards, bins, 3)
+            .seed(42)
+            .workers(workers)
+            .rounds_producers(producers);
+        Engine::by_name("double", cfg).unwrap()
+    }
+
+    #[test]
+    fn rounds_config_validates_producers() {
+        assert_eq!(
+            EngineConfig::new(2, 64, 3).rounds_producers(0).validate(),
+            Err(ConfigError::ZeroRoundsProducers)
+        );
+        assert!(EngineConfig::new(2, 64, 3).rounds().validate().is_ok());
+    }
+
+    #[test]
+    fn rounds_places_every_ball_and_reports() {
+        let mut e = rounds_engine(4, WorkerMode::Sequential, 1);
+        let ops: Vec<Op> = (0..800u64).map(Op::Insert).collect();
+        let summary = e.apply_batch(&ops);
+        assert_eq!(summary.inserts, 800);
+        assert_eq!(e.total_balls(), 800);
+        let report = e.take_round_report().expect("rounds mode");
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.balls, 800);
+        assert!(report.rounds >= 1);
+        assert_eq!(report.max_load, e.max_load());
+        // 800 balls into 1024 bins with d = 3: the bulk process stays
+        // in the same low-max-load regime as sequential d-choice.
+        assert!(e.max_load() <= 4, "max load {}", e.max_load());
+        // Drained: the next report covers only new batches.
+        assert_eq!(e.take_round_report().unwrap(), RoundReport::default());
+    }
+
+    #[test]
+    fn rounds_result_is_pure_in_the_batch_set() {
+        // The tentpole contract at the unit level: permuting the ops
+        // within a batch, changing worker mode, propose-thread count, or
+        // shard count never changes the global bin vector or summary.
+        let mut ops = mixed_ops(6_000);
+        let mut base = rounds_engine(1, WorkerMode::Sequential, 1);
+        let expected = base.apply_batch(&ops);
+        let expected_loads = global_loads(&base);
+        ops.reverse();
+        for (shards, workers, producers) in [
+            (1, WorkerMode::Sequential, 4),
+            (2, WorkerMode::Scoped, 1),
+            (4, WorkerMode::Persistent, 2),
+            (8, WorkerMode::Persistent, 4),
+        ] {
+            let mut e = rounds_engine(shards, workers, producers);
+            let got = e.apply_batch(&ops);
+            assert_eq!(got, expected, "{shards} shards {workers:?} x{producers}");
+            assert_eq!(
+                global_loads(&e),
+                expected_loads,
+                "{shards} shards {workers:?} x{producers}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_barriers_apply_deletes_and_lookups_against_pre_batch_state() {
+        let mut e = rounds_engine(2, WorkerMode::Sequential, 1);
+        e.apply_batch(&[Op::Insert(7), Op::Insert(7), Op::Insert(9)]);
+        // Lookups see pre-batch placements; the same-batch delete of key
+        // 9 cannot see the same-batch insert of key 11.
+        let summary = e.apply_batch(&[
+            Op::Delete(7),
+            Op::Lookup(7),
+            Op::Insert(11),
+            Op::Delete(11),
+            Op::Delete(9),
+            Op::Lookup(404),
+        ]);
+        assert_eq!(summary.inserts, 1);
+        assert_eq!(summary.deletes, 2);
+        assert_eq!(summary.missed_deletes, 1, "same-batch insert not deletable");
+        assert_eq!(summary.lookups, 2);
+        assert_eq!(summary.hits, 1);
+        // Balls: 3 placed, 2 deleted, 1 placed = 2 live.
+        assert_eq!(e.total_balls(), 2);
+        // The delete of key 7 freed the newest of its two balls; the
+        // next batch can still delete the older one.
+        let s2 = e.apply_batch(&[Op::Delete(7), Op::Delete(7)]);
+        assert_eq!((s2.deletes, s2.missed_deletes), (1, 1));
+    }
+
+    #[test]
+    fn rounds_batches_are_order_sensitive_only_across_barriers() {
+        // Two engines serve the same two batches; within each batch the
+        // op order differs. Final state must match exactly.
+        let batch1: Vec<Op> = (0..500u64).map(Op::Insert).collect();
+        let mut batch2: Vec<Op> = (0..500u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Op::Delete(i)
+                } else {
+                    Op::Insert(i)
+                }
+            })
+            .collect();
+        let mut a = rounds_engine(4, WorkerMode::Persistent, 2);
+        a.apply_batch(&batch1);
+        a.apply_batch(&batch2);
+        let mut b = rounds_engine(4, WorkerMode::Persistent, 2);
+        let mut shuffled1 = batch1.clone();
+        shuffled1.rotate_left(123);
+        b.apply_batch(&shuffled1);
+        batch2.reverse();
+        b.apply_batch(&batch2);
+        assert_eq!(global_loads(&a), global_loads(&b));
+        assert!(a.stats().matches(&b.stats()), "stats must match too");
+    }
+
+    #[test]
+    fn rounds_threshold_escalates_past_full_tables() {
+        // 64 bins, 256 balls: mean load 4, so the threshold must rise
+        // repeatedly and every ball must still land.
+        let cfg = EngineConfig::new(2, 32, 3).seed(7).rounds();
+        let mut e = Engine::by_name("double", cfg).unwrap();
+        let ops: Vec<Op> = (0..256u64).map(Op::Insert).collect();
+        assert_eq!(e.apply_batch(&ops).inserts, 256);
+        assert_eq!(e.total_balls(), 256);
+        let report = e.take_round_report().unwrap();
+        assert!(report.max_load >= 4, "max load {}", report.max_load);
+        assert_eq!(report.max_rounds_per_batch, report.rounds);
+    }
+
+    #[test]
+    fn take_round_report_is_none_outside_rounds_mode() {
+        let mut e = engine(2, WorkerMode::Sequential);
+        assert!(e.take_round_report().is_none());
     }
 }

@@ -43,6 +43,14 @@
 //!   every shard worker merges in deterministic (producer, seq) order.
 //!   Bit-identical results to phased serving for any producer count,
 //!   strictly better producer/worker overlap.
+//! * **Round-based bulk-parallel ingestion** — [`IngestMode::Rounds`]
+//!   (module [`rounds`]) resolves each batch's inserts in synchronized
+//!   propose/resolve rounds over the *global* bin space: bins accept
+//!   proposals below a load threshold in salted-key-hash tie order,
+//!   losers re-propose. Placement is a pure function of *(batch
+//!   contents as a multiset, seed)* — independent of op order, worker
+//!   mode, producer count, and shard count — and each batch yields a
+//!   [`RoundReport`] (rounds taken, re-proposals per round, max load).
 //! * **Replay** — [`Engine::serve_replay`] ingests an op *iterator* in
 //!   batch-sized chunks, so captured workload files (the `ba-workload`
 //!   replay module's `.baops` format) replay at live-serving memory cost,
@@ -97,6 +105,7 @@ pub mod cluster;
 mod engine;
 mod metrics;
 mod op;
+pub mod rounds;
 mod shard;
 mod sink;
 pub mod spsc;
@@ -107,6 +116,7 @@ pub use cluster::{
 pub use engine::{route, ChoiceMode, ConfigError, Engine, EngineConfig, IngestMode, WorkerMode};
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
+pub use rounds::RoundReport;
 pub use shard::Shard;
 pub use sink::{
     JsonLinesExporter, MetricRecord, MetricsSink, SharedSink, WindowSummary, WindowedAggregator,

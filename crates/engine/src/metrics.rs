@@ -123,12 +123,20 @@ impl OnlinePercentiles {
     /// observed range — the export shape for mergeable telemetry. On
     /// unit bins the sketch's percentiles equal this tracker's exactly
     /// (the tracker is the sketch's test oracle).
-    pub fn to_sketch(&self) -> HistogramSketch {
+    ///
+    /// Returns `None` when the tracker holds no observations: an empty
+    /// tracker has no percentiles, and exporting a zeroed sketch would
+    /// surface degenerate `p50 = p99 = max = 0` rows downstream
+    /// (exactly what [`EngineStats::render`]'s `-` placeholder avoids).
+    pub fn to_sketch(&self) -> Option<HistogramSketch> {
+        if self.total == 0 {
+            return None;
+        }
         let mut sketch = HistogramSketch::unit_bins(self.max().max(1));
         for (value, &count) in self.counts.iter().enumerate() {
             sketch.record_n(value as f64, count);
         }
-        sketch
+        Some(sketch)
     }
 }
 
@@ -732,7 +740,7 @@ mod tests {
         for i in 0..500u32 {
             tracker.record((i * 13) % 23);
         }
-        let sketch = tracker.to_sketch();
+        let sketch = tracker.to_sketch().expect("tracker has observations");
         assert_eq!(sketch.count(), tracker.count());
         for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
             assert_eq!(
@@ -742,7 +750,7 @@ mod tests {
             );
         }
         assert_eq!(sketch.max(), f64::from(tracker.max()));
-        // An empty tracker still converts (degenerate single-bin sketch).
-        assert!(OnlinePercentiles::new().to_sketch().is_empty());
+        // An empty tracker has no percentiles to export: no sketch.
+        assert!(OnlinePercentiles::new().to_sketch().is_none());
     }
 }

@@ -3,6 +3,7 @@
 use crate::engine::{ChoiceMode, EngineConfig};
 use crate::metrics::OpObservations;
 use crate::op::{BatchSummary, Op};
+use crate::rounds::{Proposal, Winner};
 use ba_core::{Allocation, TieBreak};
 use ba_hash::{ChoiceScheme, ChoiceSource};
 use ba_rng::{AnyRng, SeedSequence};
@@ -190,6 +191,68 @@ impl<S: ChoiceScheme> Shard<S> {
             self.lifetime.hits += 1;
         }
         hit
+    }
+
+    /// Resolves one synchronized round over this shard's bins (rounds
+    /// ingestion, see [`crate::rounds`]): proposals sort by
+    /// `(bin, tie, ball)` — never arrival order — and each bin accepts
+    /// while its load sits below `threshold`. Acceptance consumes no
+    /// RNG, so the shard's stream stays untouched. Winners are placed
+    /// immediately and reported back shard-locally; the caller owns the
+    /// global key index.
+    pub(crate) fn rounds_resolve(
+        &mut self,
+        mut proposals: Vec<Proposal>,
+        threshold: u32,
+    ) -> Vec<Winner> {
+        proposals.sort_unstable_by_key(|p| (p.bin, p.tie, p.ball));
+        let mut winners = Vec::new();
+        for p in &proposals {
+            if self.alloc.load(p.bin) < threshold {
+                self.rounds_insert(p.bin, p.probe);
+                winners.push(Winner {
+                    ball: p.ball,
+                    bin: p.bin,
+                });
+            }
+        }
+        winners
+    }
+
+    /// Places one round-resolved ball into `bin`, recording the same
+    /// insert observations sequential ingestion would. A single offered
+    /// choice under [`TieBreak::FirstOffered`] consumes no randomness.
+    /// The shard's key index is deliberately not touched — rounds mode
+    /// keeps a global index (bins are global there, not shard-local).
+    fn rounds_insert(&mut self, bin: u64, probe: u8) {
+        self.alloc
+            .place(&[bin], TieBreak::FirstOffered, &mut self.rng);
+        self.observed.insert_load.record(self.alloc.load(bin));
+        self.observed.insert_probe.record(u32::from(probe));
+        self.lifetime.inserts += 1;
+    }
+
+    /// Removes one round-tracked ball from `bin` (rounds ingestion; the
+    /// caller resolved the key's global index to this shard-local bin).
+    pub(crate) fn rounds_delete(&mut self, bin: u64) {
+        self.observed.delete_load.record(self.alloc.load(bin));
+        self.alloc.remove(bin);
+        self.lifetime.deletes += 1;
+    }
+
+    /// Counts a delete that found no live ball (rounds ingestion).
+    pub(crate) fn rounds_missed_delete(&mut self) {
+        self.lifetime.missed_deletes += 1;
+    }
+
+    /// Records one lookup observing `depth` live balls (rounds
+    /// ingestion; the caller resolved depth against the global index).
+    pub(crate) fn rounds_lookup(&mut self, depth: u32) {
+        self.lifetime.lookups += 1;
+        self.observed.lookup_depth.record(depth);
+        if depth > 0 {
+            self.lifetime.hits += 1;
+        }
     }
 
     /// Applies an ordered op sequence, returning this batch's summary.

@@ -217,9 +217,15 @@ impl WindowSummary {
 
     /// Renders this window as one EMF-style JSON line (no trailing
     /// newline) — the exporter's wire format. Sketch distributions
-    /// nest as `{"count", "mean", "p50", "p99", "max"}` objects.
+    /// nest as `{"count", "mean", "p50", "p99", "max"}` objects; a
+    /// sketch with no observations exports as `null`, never as a
+    /// degenerate all-zero distribution (an all-empty merged window
+    /// would otherwise read as a real `p99 = 0` measurement).
     pub fn to_json_line(&self) -> String {
         let sketch = |s: &HistogramSketch| {
+            if s.is_empty() {
+                return "null".to_string();
+            }
             JsonObject::new()
                 .field_u64("count", s.count())
                 .field_f64("mean", s.mean())
@@ -512,6 +518,24 @@ mod tests {
         let mut a = WindowSummary::empty(0, window);
         let b = WindowSummary::empty(1, window);
         a.merge(&b);
+    }
+
+    #[test]
+    fn empty_window_sketches_export_as_null_not_zero_percentiles() {
+        let window = Duration::from_millis(10);
+        let mut a = WindowSummary::empty(3, window);
+        let b = WindowSummary::empty(3, window);
+        // Merging all-empty windows (cross-engine aggregation of idle
+        // engines) must not fabricate a zeroed distribution.
+        a.merge(&b);
+        let line = a.to_json_line();
+        for key in ["apply_us", "batch_ops", "occupancy"] {
+            assert!(line.contains(&format!("\"{key}\": null")), "{line}");
+        }
+        assert!(
+            !line.contains("\"p99\""),
+            "degenerate percentiles leaked: {line}"
+        );
     }
 
     #[test]

@@ -199,7 +199,11 @@ impl Iterator for WorkloadOps<'_> {
 /// engines alternate generate/apply (one batch buffered at a time);
 /// pipelined engines pull ops straight from the generator on the driving
 /// thread while shard workers apply earlier batches concurrently. Results
-/// are bit-identical either way.
+/// are bit-identical either way. Rounds-mode engines
+/// ([`IngestMode::Rounds`]) take the phased path too — each batch-sized
+/// chunk resolves as one synchronized propose/resolve bulk, so
+/// `batch_size` sets the bulk granularity the determinism contract is
+/// stated over.
 pub fn drive<S: ChoiceScheme + 'static>(
     engine: &mut Engine<S>,
     workload: &mut dyn Workload,
@@ -375,6 +379,70 @@ mod tests {
                 pipelined.stats.divergences(&phased.stats)
             );
         }
+    }
+
+    #[test]
+    fn rounds_drive_is_deterministic_and_serves_exact_op_count() {
+        // The driver's rounds dispatch: each batch resolves as one
+        // synchronized bulk; two runs at different propose-thread counts
+        // agree exactly.
+        for scenario in [Scenario::Uniform, Scenario::by_name("churn").unwrap()] {
+            let a = run_scenario(
+                "double",
+                &scenario,
+                EngineConfig::new(4, 256, 3).seed(8).rounds_producers(2),
+                512,
+                8_000,
+                512,
+            )
+            .unwrap();
+            let b = run_scenario(
+                "double",
+                &scenario,
+                EngineConfig::new(4, 256, 3).seed(8).rounds(),
+                512,
+                8_000,
+                512,
+            )
+            .unwrap();
+            assert_eq!(a.summary.total_ops(), 8_000, "{}", scenario.name());
+            assert_eq!(a.summary, b.summary, "{}", scenario.name());
+            assert!(
+                a.stats.matches(&b.stats),
+                "{}: {:?}",
+                scenario.name(),
+                a.stats.divergences(&b.stats)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EngineConfig::pipelined(3)")]
+    fn drive_path_rejects_non_power_of_two_queue_depth_at_construction() {
+        // One validation contract everywhere: the driver's construction
+        // path hard-errors exactly like direct Engine construction —
+        // no rounding-up anywhere.
+        let _ = run_scenario(
+            "double",
+            &Scenario::Uniform,
+            EngineConfig::new(4, 256, 3).seed(8).pipelined(3),
+            512,
+            1_000,
+            256,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "EngineConfig::rounds_producers(0)")]
+    fn drive_path_rejects_zero_rounds_producers_at_construction() {
+        let _ = run_scenario(
+            "double",
+            &Scenario::Uniform,
+            EngineConfig::new(4, 256, 3).seed(8).rounds_producers(0),
+            512,
+            1_000,
+            256,
+        );
     }
 
     #[test]

@@ -8,16 +8,23 @@
 //! both choice modes.
 //!
 //! ```text
-//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined[=DEPTH]] [producers=N] [metrics[=PATH]]
+//! cargo run --release --example engine_serve [scheme] [shards] [ops] [keyed|stream] [pipelined[=DEPTH]|rounds] [producers=N] [metrics[=PATH]]
 //! # scheme: random | double | blocks | one | ... (default: compares random vs double)
 //! # keyed: derive choices from hash(key, shard_salt) so re-inserts replay
 //! #        their f + k·g probe sequences (default: stream)
 //! # pipelined: overlap workload generation with shard application through
 //! #            bounded per-worker SPSC rings (default: phased
-//! #            generate/apply); DEPTH sets the ring depth (default 4,
-//! #            rounded up to a power of two with a warning if needed)
+//! #            generate/apply); DEPTH sets the ring depth (default 4;
+//! #            must be a power of two — the same `EngineConfig`
+//! #            validation that guards direct engine construction
+//! #            rejects anything else here too)
+//! # rounds: resolve each batch's inserts in synchronized propose/resolve
+//! #         rounds over the global bin space; placement becomes a pure
+//! #         function of (batch contents, seed), independent of op order,
+//! #         thread count, and shard count
 //! # producers: fan routing out to N producer threads on the pipelined
-//! #            path (default 1; results are bit-identical for any N —
+//! #            path, or propose-phase threads on the rounds path
+//! #            (default 1; results are bit-identical for any N —
 //! #            ignored, with a warning, under phased ingestion)
 //! # metrics: stream live windowed unit-of-work metrics (batch latency,
 //! #          queue occupancy, backpressure stalls, routing time) as
@@ -125,37 +132,45 @@ fn main() {
         }
         None => None,
     };
-    // A `pipelined` or `pipelined=DEPTH` token selects pipelined
-    // ingestion. The SPSC rings need a power-of-two depth; round a
-    // non-conforming request up with a warning instead of panicking.
+    // A `rounds` token selects round-based bulk-parallel ingestion; a
+    // `pipelined` or `pipelined=DEPTH` token selects pipelined
+    // ingestion. The requested queue depth passes through verbatim:
+    // `EngineConfig::validate` is the single contract for rejecting
+    // unusable depths (see below), so no silent round-up happens here.
+    let rounds = args
+        .iter()
+        .position(|a| a == "rounds")
+        .map(|idx| args.remove(idx))
+        .is_some();
     let ingest = match args
         .iter()
         .position(|a| a == "pipelined" || a.starts_with("pipelined="))
     {
+        Some(_) if rounds => {
+            eprintln!("pick one ingestion mode: `pipelined` or `rounds`, not both");
+            std::process::exit(1);
+        }
         Some(idx) => {
             let token = args.remove(idx);
-            let requested: usize = match token.strip_prefix("pipelined=") {
+            let queue_depth: usize = match token.strip_prefix("pipelined=") {
                 Some(depth) => depth.parse().unwrap_or_else(|_| {
                     eprintln!("cannot parse `{token}`; expected pipelined=DEPTH");
                     std::process::exit(1);
                 }),
                 None => 4,
             };
-            let queue_depth = requested.max(1).next_power_of_two();
-            if queue_depth != requested {
-                eprintln!(
-                    "warning: queue depth {requested} is not a power of two (the SPSC ring granularity); rounded up to {queue_depth}"
-                );
-            }
             IngestMode::Pipelined {
                 queue_depth,
                 producers: producers.unwrap_or(1),
             }
         }
+        None if rounds => IngestMode::Rounds {
+            producers: producers.unwrap_or(1),
+        },
         None => {
             if let Some(n) = producers {
                 eprintln!(
-                    "warning: producers={n} has no effect under phased ingestion; pass `pipelined` to fan routing out"
+                    "warning: producers={n} has no effect under phased ingestion; pass `pipelined` or `rounds` to fan out"
                 );
             }
             IngestMode::Phased
@@ -192,6 +207,18 @@ fn main() {
     };
     let shards: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let total_ops: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    // One validation contract for every construction path: the exact
+    // config serve_suite will build gets checked up front, so a bad
+    // `pipelined=DEPTH` or `producers=0` fails here with the engine's
+    // own error instead of being silently papered over.
+    let probe = EngineConfig::new(shards, 1 << 12, 3)
+        .seed(2014)
+        .mode(mode)
+        .ingest(ingest);
+    if let Err(err) = probe.validate() {
+        eprintln!("{err}");
+        std::process::exit(2);
+    }
     for scheme in &schemes {
         serve_suite(scheme, shards, total_ops, mode, ingest, &metrics);
     }

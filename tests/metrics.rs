@@ -53,7 +53,7 @@ fn sketch_percentiles_match_exact_trackers_over_golden_corpus() {
             if exact.count() == 0 {
                 continue; // insert-only scenarios have no delete/lookup data
             }
-            let sketch = exact.to_sketch();
+            let sketch = exact.to_sketch().expect("non-empty tracker exports");
             assert_eq!(sketch.count(), exact.count(), "{}/{name}", scenario.name());
             for p in [50.0, 99.0] {
                 let (s, e) = (sketch.percentile(p), f64::from(exact.percentile(p)));
