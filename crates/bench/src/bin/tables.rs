@@ -5,6 +5,7 @@
 //! tables all [--trials N]
 //! tables list
 //! tables pipeline-gate <baseline.json> <candidate.json>
+//! tables hotpath-gate <baseline.json> <candidate.json>
 //! ```
 
 use ba_bench::{experiment, gate, run_all, Opts, EXPERIMENTS};
@@ -18,6 +19,7 @@ fn usage() -> String {
     format!(
         "usage: tables <experiment>... [--trials N] [--seed S] [--threads T] [--full]\n\
          \x20      tables pipeline-gate <baseline.json> <candidate.json>\n\
+         \x20      tables hotpath-gate <baseline.json> <candidate.json>\n\
          \n\
          experiments: all, list, {}\n\
          \n\
@@ -29,7 +31,9 @@ fn usage() -> String {
          pipeline-gate compares two BENCH_pipeline.json files and fails if any\n\
          candidate cell is >{:.0}% slower than its baseline, missing, extra, or no\n\
          longer bit-identical; on hosts wide enough to overlap shards and\n\
-         producers it also enforces the 2x multi-producer speedup floor.",
+         producers it also enforces the 2x multi-producer speedup floor.\n\
+         hotpath-gate applies the same rate/identity gate to two\n\
+         BENCH_hotpath.json files (no producer axis, so no speedup floor).",
         names.join(", "),
         GATE_TOLERANCE * 100.0
     )
@@ -67,6 +71,29 @@ fn main() -> ExitCode {
             }
             Err(violations) => {
                 eprintln!("pipeline perf gate FAILED:\n{violations}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if names[0] == "hotpath-gate" {
+        let [_, baseline, candidate] = names.as_slice() else {
+            eprintln!(
+                "error: hotpath-gate takes exactly two file arguments\n\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        };
+        return match gate::gate_rate_files(baseline.as_ref(), candidate.as_ref(), GATE_TOLERANCE) {
+            Ok(report) => {
+                print!("{report}");
+                println!(
+                    "hotpath perf gate: OK (tolerance {:.0}%)",
+                    GATE_TOLERANCE * 100.0
+                );
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                eprintln!("hotpath perf gate FAILED:\n{violations}");
                 ExitCode::FAILURE
             }
         };

@@ -350,6 +350,26 @@ pub fn gate_files(baseline: &Path, candidate: &Path, tolerance: f64) -> Result<S
     Ok(report)
 }
 
+/// The rate-only file gate: reads both files, parses, and gates rates at
+/// `tolerance` — no speedup axis. This is the entry for documents whose
+/// cells carry no producer fan-out (the `hotpath` experiment: one shard,
+/// one thread), where [`gate_speedup`]'s multi-producer floor would
+/// reject the file outright.
+pub fn gate_rate_files(
+    baseline: &Path,
+    candidate: &Path,
+    tolerance: f64,
+) -> Result<String, String> {
+    let read = |path: &Path| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let base = parse_cells(&read(baseline)?)
+        .map_err(|e| format!("baseline {}: {e}", baseline.display()))?;
+    let cand = parse_cells(&read(candidate)?)
+        .map_err(|e| format!("candidate {}: {e}", candidate.display()))?;
+    gate_rates(&base, &cand, tolerance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,5 +664,28 @@ mod tests {
             "{speedup}"
         );
         assert!(speedup.contains("not enforced"), "{speedup}");
+    }
+
+    #[test]
+    fn rate_only_file_gate_skips_the_speedup_axis() {
+        // gate_rate_files must pass a producer-free document that
+        // gate_files would reject for missing fan-out cells.
+        let dir = std::env::temp_dir();
+        let base_path = dir.join(format!("BENCH_hotpath_base_{}.json", std::process::id()));
+        let cand_path = dir.join(format!("BENCH_hotpath_cand_{}.json", std::process::id()));
+        let doc = "{\n  \"experiment\": \"hotpath\",\n  \"cells\": [\n    \
+                   {\"scenario\": \"uniform\", \"ingest\": \"keyed\", \
+                   \"ops_per_sec\": 1000000, \"insert_ns\": null, \"identical\": true}\n  ]\n}\n";
+        std::fs::write(&base_path, doc).unwrap();
+        std::fs::write(&cand_path, doc).unwrap();
+        let report = gate_rate_files(&base_path, &cand_path, 0.2);
+        let full = gate_files(&base_path, &cand_path, 0.2);
+        std::fs::remove_file(&base_path).ok();
+        std::fs::remove_file(&cand_path).ok();
+        assert!(report.unwrap().contains("uniform/keyed"));
+        assert!(
+            full.unwrap_err().contains("lacks the fan-out axis"),
+            "speedup gate should object"
+        );
     }
 }

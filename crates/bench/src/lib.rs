@@ -23,6 +23,7 @@ pub mod cluster;
 pub mod engine;
 pub mod extensions;
 pub mod gate;
+pub mod hotpath;
 pub mod opts;
 pub mod pipeline;
 pub mod replay;
@@ -64,6 +65,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("pipeline", pipeline::pipeline),
     ("cluster", cluster::cluster),
     ("rounds", rounds::rounds),
+    ("hotpath", hotpath::hotpath),
 ];
 
 /// Looks up an experiment by name.

@@ -20,10 +20,22 @@ pub enum TieBreak {
 }
 
 /// The mutable state of a balls-and-bins process: one load counter per bin.
+///
+/// Alongside the per-bin loads the allocation keeps load-level occupancy
+/// counters (`occupancy[l]` = bins currently at load `l`), maintained
+/// incrementally by [`Allocation::place`]/[`Allocation::remove`]. They
+/// make [`Allocation::max_load`] O(1) — a place moves one bin up a
+/// level, a remove moves one bin down, so the maximum can only step by
+/// one in either direction.
 #[derive(Debug, Clone)]
 pub struct Allocation {
     loads: Vec<u32>,
     balls: u64,
+    /// `occupancy[l]` = number of bins whose load is exactly `l`, for
+    /// `l <= max`. Invariant: sums to `n`.
+    occupancy: Vec<u64>,
+    /// The current maximum load; `occupancy[max] > 0` unless empty.
+    max: u32,
 }
 
 impl Allocation {
@@ -37,7 +49,26 @@ impl Allocation {
         Self {
             loads: vec![0u32; n as usize],
             balls: 0,
+            occupancy: vec![n],
+            max: 0,
         }
+    }
+
+    /// Moves `chosen` one load level up, keeping the occupancy counters
+    /// and tracked maximum in sync. The single mutation path for placing.
+    #[inline]
+    fn bump(&mut self, chosen: u64) {
+        let level = self.loads[chosen as usize];
+        self.loads[chosen as usize] = level + 1;
+        self.occupancy[level as usize] -= 1;
+        if self.occupancy.len() as u32 == level + 1 {
+            self.occupancy.push(0);
+        }
+        self.occupancy[level as usize + 1] += 1;
+        if level + 1 > self.max {
+            self.max = level + 1;
+        }
+        self.balls += 1;
     }
 
     /// The number of bins.
@@ -64,8 +95,16 @@ impl Allocation {
         &self.loads
     }
 
-    /// The current maximum load.
+    /// The current maximum load. O(1): read from the incrementally
+    /// maintained occupancy counters, never a scan over the bins.
     pub fn max_load(&self) -> u32 {
+        self.max
+    }
+
+    /// The maximum load recomputed by a full scan over the loads —
+    /// the reference the O(1) tracker is checked against in tests and
+    /// CI. Production code should call [`Allocation::max_load`].
+    pub fn scanned_max_load(&self) -> u32 {
         self.loads.iter().copied().max().unwrap_or(0)
     }
 
@@ -79,58 +118,129 @@ impl Allocation {
     ///
     /// Panics if `choices` is empty or contains an out-of-range bin.
     #[inline]
-    pub fn place(&mut self, choices: &[u64], tie: TieBreak, rng: &mut dyn Rng64) -> u64 {
+    pub fn place<R: Rng64 + ?Sized>(&mut self, choices: &[u64], tie: TieBreak, rng: &mut R) -> u64 {
+        self.place_indexed(choices, tie, rng).0
+    }
+
+    /// [`Allocation::place`] that also reports *which probe won*: returns
+    /// `(bin, probe_index)` where `probe_index` is the position of the
+    /// first slot in `choices` holding the chosen bin — exactly what
+    /// `choices.iter().position(|&c| c == bin)` would recover after the
+    /// fact, without the rescan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty or contains an out-of-range bin.
+    /// The RNG is taken generically (`R: Rng64 + ?Sized`) rather than as
+    /// `&mut dyn Rng64`, so a caller holding a concrete RNG gets the
+    /// tie-break draws inlined — at high load nearly every probe ties,
+    /// and a virtual call per tied probe dominates the placement cost.
+    /// `&mut dyn Rng64` callers still compile (`R = dyn Rng64`).
+    #[inline]
+    pub fn place_indexed<R: Rng64 + ?Sized>(
+        &mut self,
+        choices: &[u64],
+        tie: TieBreak,
+        rng: &mut R,
+    ) -> (u64, u32) {
         assert!(!choices.is_empty(), "a ball needs at least one choice");
-        let chosen = match tie {
+        let (chosen, probe) = match tie {
             TieBreak::FirstOffered => {
                 let mut best = choices[0];
                 let mut best_load = self.loads[best as usize];
-                for &c in &choices[1..] {
+                let mut best_idx = 0u32;
+                for (i, &c) in choices.iter().enumerate().skip(1) {
                     let l = self.loads[c as usize];
                     if l < best_load {
                         best = c;
                         best_load = l;
+                        best_idx = i as u32;
                     }
                 }
-                best
+                // A strict improvement can never fire at a duplicate's
+                // later slot (the earlier slot saw the same counter), so
+                // best_idx is the bin's first occurrence.
+                (best, best_idx)
             }
             TieBreak::LowestIndex => {
                 let mut best = choices[0];
                 let mut best_load = self.loads[best as usize];
-                for &c in &choices[1..] {
+                let mut best_idx = 0u32;
+                for (i, &c) in choices.iter().enumerate().skip(1) {
                     let l = self.loads[c as usize];
                     if l < best_load || (l == best_load && c < best) {
                         best = c;
                         best_load = l;
+                        best_idx = i as u32;
                     }
                 }
-                best
+                // Ties only replace with a strictly smaller bin, so a
+                // duplicate of the incumbent can never move best_idx off
+                // the first occurrence.
+                (best, best_idx)
             }
             TieBreak::Random => {
                 // Reservoir-style single pass: the i-th tied candidate
                 // replaces the incumbent with probability 1/i.
                 let mut best = choices[0];
                 let mut best_load = self.loads[best as usize];
+                let mut best_idx = 0u32;
                 let mut ties = 1u64;
-                for &c in &choices[1..] {
+                for (i, &c) in choices.iter().enumerate().skip(1) {
                     let l = self.loads[c as usize];
                     if l < best_load {
                         best = c;
                         best_load = l;
+                        best_idx = i as u32;
                         ties = 1;
                     } else if l == best_load {
                         ties += 1;
                         if rng.gen_range(ties) == 0 {
                             best = c;
+                            best_idx = i as u32;
                         }
                     }
                 }
-                best
+                // The reservoir may land on a later duplicate of a bin
+                // that tied (and lost) earlier; report the value's first
+                // occurrence, matching the historical position() recovery.
+                let probe = choices[..best_idx as usize]
+                    .iter()
+                    .position(|&c| c == best)
+                    .map_or(best_idx, |first| first as u32);
+                (best, probe)
             }
         };
-        self.loads[chosen as usize] += 1;
-        self.balls += 1;
-        chosen
+        self.bump(chosen);
+        (chosen, probe)
+    }
+
+    /// The monomorphized [`TieBreak::FirstOffered`] fast path: identical
+    /// placement and probe index to
+    /// `place_indexed(choices, TieBreak::FirstOffered, rng)`, with no
+    /// `dyn Rng64` argument at all — first-offered ties consume no
+    /// randomness, so keyed traffic under this tie-break never touches
+    /// the RNG's vtable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty or contains an out-of-range bin.
+    #[inline]
+    pub fn place_first_offered(&mut self, choices: &[u64]) -> (u64, u32) {
+        assert!(!choices.is_empty(), "a ball needs at least one choice");
+        let mut best = choices[0];
+        let mut best_load = self.loads[best as usize];
+        let mut best_idx = 0u32;
+        for (i, &c) in choices.iter().enumerate().skip(1) {
+            let l = self.loads[c as usize];
+            if l < best_load {
+                best = c;
+                best_load = l;
+                best_idx = i as u32;
+            }
+        }
+        self.bump(best);
+        (best, best_idx)
     }
 
     /// Generates the choices for the ball identified by `key` from
@@ -167,9 +277,16 @@ impl Allocation {
     ///
     /// Panics if the bin is empty or out of range.
     pub fn remove(&mut self, bin: u64) {
-        let slot = &mut self.loads[bin as usize];
-        assert!(*slot > 0, "cannot remove from empty bin {bin}");
-        *slot -= 1;
+        let level = self.loads[bin as usize];
+        assert!(level > 0, "cannot remove from empty bin {bin}");
+        self.loads[bin as usize] = level - 1;
+        self.occupancy[level as usize] -= 1;
+        self.occupancy[level as usize - 1] += 1;
+        // Only one bin moved down a level, so the maximum can drop by at
+        // most one — and the moved bin itself now sits at max - 1.
+        if level == self.max && self.occupancy[level as usize] == 0 {
+            self.max -= 1;
+        }
         self.balls -= 1;
     }
 
@@ -436,5 +553,84 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
         Allocation::new(0);
+    }
+
+    #[test]
+    fn max_load_tracker_matches_scan_through_churn() {
+        // Drive places and removes and check the O(1) tracker against
+        // the full scan at every step, including max-load drops.
+        let scheme = DoubleHashing::new(64, 3);
+        let mut a = Allocation::new(64);
+        let mut r = rng(21);
+        let mut placed: Vec<u64> = Vec::new();
+        let mut buf = [0u64; 3];
+        for step in 0..2_000u64 {
+            if step % 3 == 2 && !placed.is_empty() {
+                let victim = placed.swap_remove((r.gen_range(placed.len() as u64)) as usize);
+                a.remove(victim);
+            } else {
+                scheme.fill_choices(&mut r, &mut buf);
+                placed.push(a.place(&buf, TieBreak::Random, &mut r));
+            }
+            assert_eq!(a.max_load(), a.scanned_max_load(), "step {step}");
+        }
+        for &bin in &placed {
+            a.remove(bin);
+        }
+        assert_eq!(a.max_load(), 0);
+        assert_eq!(a.scanned_max_load(), 0);
+    }
+
+    #[test]
+    fn place_indexed_probe_matches_position_recovery() {
+        // The probe index must be exactly what the old linear rescan
+        // found: the *first* slot holding the chosen bin, even with
+        // duplicate choices in the vector.
+        let mut r = rng(33);
+        for tie in [
+            TieBreak::FirstOffered,
+            TieBreak::LowestIndex,
+            TieBreak::Random,
+        ] {
+            let mut a = Allocation::new(8);
+            let mut twin = Allocation::new(8);
+            for _ in 0..4_000 {
+                // Duplicate-heavy vectors over a tiny table force ties.
+                let d = 1 + (r.gen_range(4) as usize);
+                let choices: Vec<u64> = (0..d).map(|_| r.gen_range(8)).collect();
+                let mut r1 = rng(r.next_u64());
+                let mut r2 = r1.clone();
+                let (bin, probe) = a.place_indexed(&choices, tie, &mut r1);
+                let reference = twin.place(&choices, tie, &mut r2);
+                assert_eq!(bin, reference);
+                let recovered = choices.iter().position(|&c| c == bin).unwrap() as u32;
+                assert_eq!(probe, recovered, "tie {tie:?} choices {choices:?}");
+                if a.balls().is_multiple_of(5) {
+                    a.remove(bin);
+                    twin.remove(reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn place_first_offered_agrees_with_general_path() {
+        let scheme = DoubleHashing::new(32, 4);
+        let mut gen = rng(55);
+        let mut fast = Allocation::new(32);
+        let mut slow = Allocation::new(32);
+        let mut buf = [0u64; 4];
+        for _ in 0..2_000 {
+            scheme.fill_choices(&mut gen, &mut buf);
+            let (fb, fp) = fast.place_first_offered(&buf);
+            // The general path gets an RNG but must never draw from it.
+            let mut guard = rng(0);
+            let before = guard.clone().next_u64();
+            let (sb, sp) = slow.place_indexed(&buf, TieBreak::FirstOffered, &mut guard);
+            assert_eq!(guard.next_u64(), before, "first-offered consumed rng");
+            assert_eq!((fb, fp), (sb, sp));
+        }
+        assert_eq!(fast.loads(), slow.loads());
+        assert_eq!(fast.max_load(), slow.max_load());
     }
 }

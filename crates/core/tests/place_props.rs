@@ -1,0 +1,109 @@
+//! Property tests for the indexed placement path and the O(1) max-load
+//! tracker: [`Allocation::place_indexed`] must report exactly the probe
+//! index the old `position()` rescan recovered (first occurrence of the
+//! chosen bin — duplicate choice vectors included), and the incremental
+//! tracker must agree with a full scan through any place/remove history.
+
+use ba_core::{Allocation, TieBreak};
+use ba_rng::{Rng64, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+fn tie_break(selector: u8) -> TieBreak {
+    match selector % 3 {
+        0 => TieBreak::Random,
+        1 => TieBreak::FirstOffered,
+        _ => TieBreak::LowestIndex,
+    }
+}
+
+proptest! {
+    /// `place_indexed` against a twin driven through plain `place` plus
+    /// the historical first-occurrence rescan: same bin, same probe, for
+    /// duplicate-heavy choice vectors under every tie-break.
+    #[test]
+    fn indexed_probe_matches_position_recovery(
+        seed in any::<u64>(),
+        tie_sel in any::<u8>(),
+        balls in proptest::collection::vec(
+            proptest::collection::vec(0u64..6, 1..7),
+            1..120,
+        ),
+    ) {
+        let tie = tie_break(tie_sel);
+        let mut indexed = Allocation::new(6);
+        let mut twin = Allocation::new(6);
+        // Identical RNG streams: any divergence in draw count or order
+        // between the paths would desynchronize them and fail below.
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(seed);
+        for choices in &balls {
+            let (bin, probe) = indexed.place_indexed(choices, tie, &mut rng_a);
+            let twin_bin = twin.place(choices, tie, &mut rng_b);
+            prop_assert_eq!(bin, twin_bin, "placements diverged on {:?}", choices);
+            let recovered = choices
+                .iter()
+                .position(|&c| c == bin)
+                .expect("place returns an offered choice");
+            prop_assert_eq!(probe as usize, recovered, "probe for {:?} -> {}", choices, bin);
+            prop_assert_eq!(indexed.loads(), twin.loads());
+        }
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams desynchronized");
+    }
+
+    /// `place_first_offered` is a drop-in for the general path under
+    /// `TieBreak::FirstOffered` — same bin, same probe — and consumes no
+    /// randomness.
+    #[test]
+    fn first_offered_fast_path_agrees(
+        seed in any::<u64>(),
+        balls in proptest::collection::vec(
+            proptest::collection::vec(0u64..5, 1..6),
+            1..80,
+        ),
+    ) {
+        let mut fast = Allocation::new(5);
+        let mut general = Allocation::new(5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut guard = Xoshiro256StarStar::seed_from_u64(seed);
+        for choices in &balls {
+            let a = fast.place_first_offered(choices);
+            let b = general.place_indexed(choices, TieBreak::FirstOffered, &mut rng);
+            prop_assert_eq!(a, b, "fast path diverged on {:?}", choices);
+        }
+        prop_assert_eq!(fast.loads(), general.loads());
+        prop_assert_eq!(
+            rng.next_u64(),
+            guard.next_u64(),
+            "FirstOffered placement consumed randomness"
+        );
+    }
+
+    /// The occupancy-counter tracker equals a full load scan after every
+    /// step of any legal place/remove interleaving, down to empty.
+    #[test]
+    fn max_load_tracker_matches_scan(
+        seed in any::<u64>(),
+        n in 1u64..12,
+        steps in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+    ) {
+        let mut alloc = Allocation::new(n);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut live: Vec<u64> = Vec::new();
+        for &(raw, removal) in &steps {
+            if removal && !live.is_empty() {
+                let victim = live.swap_remove((raw % live.len() as u64) as usize);
+                alloc.remove(victim);
+            } else {
+                let bin = raw % n;
+                alloc.place(&[bin], TieBreak::Random, &mut rng);
+                live.push(bin);
+            }
+            prop_assert_eq!(alloc.max_load(), alloc.scanned_max_load());
+        }
+        while let Some(victim) = live.pop() {
+            alloc.remove(victim);
+            prop_assert_eq!(alloc.max_load(), alloc.scanned_max_load());
+        }
+        prop_assert_eq!(alloc.max_load(), 0);
+    }
+}

@@ -606,6 +606,8 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
         let ours = self.placements();
         let theirs = other.placements();
         let mut lines = Vec::new();
+        // Reused across every annotated mismatch in the diff.
+        let mut probes = Vec::new();
         for (key, placement) in &ours {
             match theirs.get(key) {
                 None => lines.push(format!(
@@ -627,7 +629,7 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
                             placement.shard,
                             placement.bins,
                             them.bins,
-                            self.probe_annotation(*key, placement, them)
+                            self.probe_annotation(*key, placement, them, &mut probes)
                         ));
                     }
                 }
@@ -645,14 +647,22 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
     }
 
     /// The keyed-mode annotation for a bin mismatch: each side's bins as
-    /// probe indices within the key's (shared) probe set.
-    fn probe_annotation(&self, key: u64, ours: &Placement, theirs: &Placement) -> String {
+    /// probe indices within the key's (shared) probe set. `probes` is a
+    /// caller-owned scratch buffer, reused across a diff's mismatches.
+    fn probe_annotation(
+        &self,
+        key: u64,
+        ours: &Placement,
+        theirs: &Placement,
+        probes: &mut Vec<u64>,
+    ) -> String {
         if self.config.engine.mode != ChoiceMode::Keyed {
             return " (stream mode: bins are draw-order dependent)".to_string();
         }
-        let probes = self.engines[ours.partition]
+        self.engines[ours.partition]
             .shard(ours.shard)
-            .probes_for(key);
+            .probes_into(key, probes);
+        let probes = &*probes;
         let indices = |bins: &[u64]| -> Vec<Option<usize>> {
             bins.iter()
                 .map(|bin| probes.iter().position(|p| p == bin))
@@ -768,6 +778,9 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
             .collect();
         moves.sort_unstable_by_key(|(key, _)| *key);
         let source = &mut self.engines[partition];
+        // One probe buffer for the whole drain: the annotation path
+        // derives every moved key's probes without reallocating.
+        let mut probes = Vec::new();
         for (key, old_bins) in moves {
             let balls = old_bins.len();
             // Keyed delete from the source (drains its accounting), then
@@ -785,7 +798,8 @@ impl<S: ChoiceScheme + 'static> Cluster<S> {
             report.balls_moved += balls as u64;
             if new_bins != old_bins {
                 let annotation = if keyed {
-                    let probes = destination.shard(shard_id).probes_for(key);
+                    destination.shard(shard_id).probes_into(key, &mut probes);
+                    let probes = &probes;
                     let indices = |bins: &[u64]| -> Vec<Option<usize>> {
                         bins.iter()
                             .map(|bin| probes.iter().position(|p| p == bin))
@@ -962,11 +976,12 @@ mod tests {
         assert!(report.keys_moved > 0, "nothing drained");
         assert_eq!(c.total_balls(), balls, "drain lost or duplicated balls");
         // Keyed mode: every re-inserted ball sits within its probe set.
+        let mut probes = Vec::new();
         for m in &report.moved {
             let engine = c.engine(m.partition);
             for shard in engine.shards() {
                 for key in shard.live_key_ids() {
-                    let probes = shard.probes_for(key);
+                    shard.probes_into(key, &mut probes);
                     for bin in shard.bins_of(key).unwrap() {
                         assert!(probes.contains(bin), "ball escaped its probe set");
                     }

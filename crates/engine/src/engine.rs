@@ -1084,7 +1084,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         // to the key's routed shard, matching the other ingest modes.
         for &op in ops {
             if let Op::Lookup(key) = op {
-                let depth = st.index.get(&key).map_or(0, Vec::len) as u32;
+                let depth = st.index.depth(key) as u32;
                 self.shard_slot(route(key, shards)).rounds_lookup(depth);
                 summary.lookups += 1;
                 summary.hits += u64::from(depth > 0);
@@ -1105,12 +1105,8 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             .collect();
         deletes.sort_unstable();
         for key in deletes {
-            match st.index.get_mut(&key) {
-                Some(stack) => {
-                    let global = stack.pop().expect("index never holds empty stacks");
-                    if stack.is_empty() {
-                        st.index.remove(&key);
-                    }
+            match st.index.pop(key) {
+                Some(global) => {
                     let owner = (global / bins_per_shard) as usize;
                     self.shard_slot(owner)
                         .rounds_delete(global % bins_per_shard);
@@ -1158,8 +1154,11 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
             let scheme = &st.scheme;
             let salt = st.salt;
             let fill = |keys: &[u64], inst: &[u64], probes: &mut [u64], ties: &mut [u64]| {
+                // One batched-kernel dispatch fills the whole chunk's
+                // probe matrix (row i = ball i's d global probes),
+                // bit-identical to per-ball choices_for by contract.
+                scheme.choices_for_batch(keys, salt, probes);
                 for (i, (&key, &instance)) in keys.iter().zip(inst).enumerate() {
-                    scheme.choices_for(key, salt, &mut probes[i * d..(i + 1) * d]);
                     ties[i] = tie_hash(key, salt, instance);
                 }
             };
@@ -1252,7 +1251,7 @@ impl<S: ChoiceScheme + 'static> Engine<S> {
         // Commit placements to the global index in canonical ball
         // order, so a key's LIFO stack is also pure in the batch set.
         for b in 0..balls {
-            st.index.entry(keys[b]).or_default().push(placed_bins[b]);
+            st.index.push(keys[b], placed_bins[b]);
         }
         summary.inserts += balls as u64;
         st.report.balls += balls as u64;

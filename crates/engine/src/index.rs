@@ -1,0 +1,432 @@
+//! [`KeyIndex`]: the shard hot path's key → bin-stack map.
+//!
+//! `Shard` (and rounds mode's global index) used to track live keys in a
+//! `std::collections::HashMap<u64, Vec<u64>>`. That pays twice per op on
+//! the hottest path in the engine: SipHash over an already-uniform `u64`
+//! key, and a heap-allocated `Vec` per key even though almost every key
+//! holds one or two balls (load factor ≈ 1 in every experiment here).
+//!
+//! [`KeyIndex`] replaces both costs:
+//!
+//! * **Seeded multiply-mix hashing** — keys are hashed with the
+//!   [`SplitMix64`] finalizer over `key ^ seed` (two multiply/xor-shift
+//!   rounds), which is a few cycles instead of SipHash's per-byte rounds
+//!   and is exactly right for keys that are already uniform `u64`s. The
+//!   seed keeps the table's probe order deterministic per shard while
+//!   still decorrelating it from the raw key values.
+//! * **Inline small-stacks** — up to [`INLINE_BINS`] bins live directly
+//!   in the key's arena entry; only deeper stacks spill to a heap
+//!   `Vec`, and a spilled stack shrinks back inline when deletes bring
+//!   it down again. Insert-then-delete churn at realistic depths never
+//!   allocates.
+//!
+//! The table is open-addressed with linear probing and backward-shift
+//! deletion (no tombstones), growing at 5/8 occupancy. Storage is a
+//! dense probe array of 16-byte slots (four per cache line — a probe
+//! run usually stays inside one line) pointing into a stable stack
+//! *arena*, reached exactly once per operation. Growth rebuilds only
+//! the slots; stacks never move. Enumeration order
+//! of a hash table is an implementation detail, so the deterministic
+//! surface the engine exposes ([`Shard::live_key_ids`](crate::Shard::live_key_ids),
+//! cluster drains, placement maps) always goes through [`KeyIndex::sorted_keys`],
+//! which sorts ascending exactly like the `HashMap` predecessor did.
+
+use ba_rng::SplitMix64;
+
+/// Bins stored directly in an arena entry before the stack spills to
+/// the heap. Six fills a stack entry out to exactly one cache line and
+/// comfortably covers the bench convention's mean key depth
+/// (`total_ops = 4 × keyspace`): under a Poisson(4) depth profile only
+/// ~11% of keys ever touch the heap.
+pub const INLINE_BINS: usize = 6;
+
+/// A key's LIFO stack of bins: inline up to [`INLINE_BINS`] deep, heap
+/// beyond that, shrinking back inline when it fits again.
+///
+/// Sized and aligned to exactly one 64-byte cache line so an arena
+/// access is always a single line fill — unaligned 40-byte entries
+/// straddled a boundary five times out of eight, costing a second miss
+/// on the (DRAM-bound) cold-key path.
+#[derive(Debug, Clone)]
+#[repr(align(64))]
+enum Stack {
+    /// `len` live bins stored in-slot (`len >= 1`; empty stacks are
+    /// removed from the table, never stored).
+    Inline { len: u8, bins: [u64; INLINE_BINS] },
+    /// The deep case: more than [`INLINE_BINS`] live bins.
+    Spilled(Vec<u64>),
+}
+
+/// The arena layout contract: one entry, one cache line.
+const _: () = assert!(std::mem::size_of::<Stack>() == 64);
+
+impl Stack {
+    fn one(bin: u64) -> Self {
+        let mut bins = [0; INLINE_BINS];
+        bins[0] = bin;
+        Stack::Inline { len: 1, bins }
+    }
+
+    fn push(&mut self, bin: u64) {
+        match self {
+            Stack::Inline { len, bins } => {
+                let n = *len as usize;
+                if n < INLINE_BINS {
+                    bins[n] = bin;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_BINS * 2);
+                    spilled.extend_from_slice(&bins[..n]);
+                    spilled.push(bin);
+                    *self = Stack::Spilled(spilled);
+                }
+            }
+            Stack::Spilled(bins) => bins.push(bin),
+        }
+    }
+
+    /// Pops the most recent bin. Returns `(bin, now_empty)`; the caller
+    /// removes the entry when the stack empties.
+    fn pop(&mut self) -> (u64, bool) {
+        match self {
+            Stack::Inline { len, bins } => {
+                *len -= 1;
+                (bins[*len as usize], *len == 0)
+            }
+            Stack::Spilled(heap) => {
+                let bin = heap.pop().expect("spilled stacks hold > INLINE_BINS bins");
+                if heap.len() <= INLINE_BINS {
+                    let mut bins = [0u64; INLINE_BINS];
+                    bins[..heap.len()].copy_from_slice(heap);
+                    *self = Stack::Inline {
+                        len: heap.len() as u8,
+                        bins,
+                    };
+                }
+                (bin, false)
+            }
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Stack::Inline { len, bins } => &bins[..*len as usize],
+            Stack::Spilled(bins) => bins,
+        }
+    }
+}
+
+impl Default for Stack {
+    /// Placeholder for unoccupied slots in the parallel stack array;
+    /// never observed through the public API.
+    fn default() -> Self {
+        Stack::Inline {
+            len: 0,
+            bins: [0; INLINE_BINS],
+        }
+    }
+}
+
+/// One probe-array slot: the key, its live flag, and the index of its
+/// stack in the arena — 16 bytes, so a cache line covers four slots and
+/// a probe run usually stays inside one line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    key: u64,
+    /// Arena index of this key's stack (meaningful only while live).
+    /// `u32` keeps the slot at 16 bytes; four billion simultaneously
+    /// live keys per shard is far beyond any configuration here.
+    stack: u32,
+    live: bool,
+}
+
+/// An open-addressed `u64 → bin-stack` map tuned for the shard hot path:
+/// multiply-mix hashing, linear probing with backward-shift deletion,
+/// and inline storage for stacks up to [`INLINE_BINS`] deep. See the
+/// [module docs](self) for why it replaces `HashMap<u64, Vec<u64>>`.
+///
+/// Storage is a dense probe array of 16-byte slots plus a stack *arena* the
+/// slots point into. Growth rebuilds only the 16-byte slots under the
+/// new mask; the wide stacks never move (their arena positions are
+/// stable for a key's whole life, and freed positions recycle through a
+/// free list), so rehashing costs bytes proportional to the probe
+/// array, not to the stacks.
+#[derive(Debug, Clone)]
+pub struct KeyIndex {
+    /// Mixed into every hash; makes probe order deterministic per owner
+    /// (shards pass their salt) without being a function of raw keys.
+    seed: u64,
+    /// Power-of-two probe array; a dead slot terminates probe runs.
+    slots: Vec<Slot>,
+    /// Stack arena; live slots point into it, free positions are listed
+    /// in `free`.
+    stacks: Vec<Stack>,
+    /// Arena positions whose keys were removed, ready for reuse.
+    free: Vec<u32>,
+    /// `slots.len() - 1`, cached for masking (0 while unallocated).
+    mask: usize,
+    /// Live keys (occupied slots).
+    len: usize,
+}
+
+impl KeyIndex {
+    /// Initial capacity on first insert.
+    const FIRST_CAPACITY: usize = 16;
+
+    /// Creates an empty index hashing with `seed`. No slots are
+    /// allocated until the first insert.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            slots: Vec::new(),
+            stacks: Vec::new(),
+            free: Vec::new(),
+            mask: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of distinct live keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key holds a live ball.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The key's home slot under the current capacity.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        SplitMix64::mix(key ^ self.seed) as usize & self.mask
+    }
+
+    /// Finds the slot holding `key`, if present. Touches only the dense
+    /// probe array.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = self.home(key);
+        loop {
+            let slot = self.slots[i];
+            if !slot.live {
+                return None;
+            }
+            if slot.key == key {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `(key, arena index)` into a table guaranteed to have a
+    /// free slot.
+    #[inline]
+    fn insert_entry(&mut self, key: u64, stack: u32) {
+        let mut i = self.home(key);
+        while self.slots[i].live {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = Slot {
+            key,
+            stack,
+            live: true,
+        };
+        self.len += 1;
+    }
+
+    /// Doubles (or first-allocates) the probe array and re-inserts every
+    /// slot under the new mask. The stack arena is untouched — growth
+    /// cost is proportional to the 16-byte slots alone.
+    fn grow(&mut self) {
+        let capacity = if self.slots.is_empty() {
+            Self::FIRST_CAPACITY
+        } else {
+            self.slots.len() * 2
+        };
+        let old_slots = std::mem::replace(&mut self.slots, vec![Slot::default(); capacity]);
+        self.mask = capacity - 1;
+        self.len = 0;
+        for slot in old_slots {
+            if slot.live {
+                self.insert_entry(slot.key, slot.stack);
+            }
+        }
+    }
+
+    /// Pushes `bin` onto `key`'s stack (creating the key if new).
+    pub fn push(&mut self, key: u64, bin: u64) {
+        if let Some(i) = self.find(key) {
+            let idx = self.slots[i].stack as usize;
+            self.stacks[idx].push(bin);
+            return;
+        }
+        // Grow at 5/8 occupancy: plain (non-SIMD) linear probing
+        // degrades steeply past ~2/3 full — an unsuccessful probe at
+        // 7/8 walks ~30 slots on average versus ~4 here — and every
+        // miss-then-create insert pays the unsuccessful case. Slots are
+        // 16 bytes, so the headroom is cheap.
+        if (self.len + 1) * 8 > self.slots.len() * 5 {
+            self.grow();
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.stacks[idx as usize] = Stack::one(bin);
+                idx
+            }
+            None => {
+                self.stacks.push(Stack::one(bin));
+                (self.stacks.len() - 1) as u32
+            }
+        };
+        self.insert_entry(key, idx);
+    }
+
+    /// Pops the most recent bin for `key`; removes the key when its last
+    /// ball goes. Returns `None` for a key with no live balls.
+    pub fn pop(&mut self, key: u64) -> Option<u64> {
+        let i = self.find(key)?;
+        let idx = self.slots[i].stack;
+        let (bin, now_empty) = self.stacks[idx as usize].pop();
+        if now_empty {
+            // An emptied stack is already inline (spills shrink back
+            // before emptying), so recycling the position needs no
+            // cleanup — `Stack::one` overwrites it on reuse.
+            self.free.push(idx);
+            self.remove_at(i);
+        }
+        Some(bin)
+    }
+
+    /// Vacates slot `hole`, backward-shifting any displaced slots of
+    /// the probe run that follows so lookups never need tombstones.
+    /// Only the 16-byte slots move; arena positions are stable.
+    fn remove_at(&mut self, mut hole: usize) {
+        self.slots[hole].live = false;
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let slot = self.slots[i];
+            if !slot.live {
+                return;
+            }
+            let home = self.home(slot.key);
+            // The slot can fill the hole iff the hole lies on its probe
+            // path — its displacement from home reaches at least as far
+            // back as the hole does.
+            let entry_distance = i.wrapping_sub(home) & self.mask;
+            let hole_distance = i.wrapping_sub(hole) & self.mask;
+            if entry_distance >= hole_distance {
+                self.slots[hole] = slot;
+                self.slots[i].live = false;
+                hole = i;
+            }
+        }
+    }
+
+    /// The bins currently holding balls for `key`, oldest first.
+    pub fn get(&self, key: u64) -> Option<&[u64]> {
+        self.find(key)
+            .map(|i| self.stacks[self.slots[i].stack as usize].as_slice())
+    }
+
+    /// Number of live balls for `key` (0 when absent).
+    pub fn depth(&self, key: u64) -> usize {
+        self.get(key).map_or(0, <[u64]>::len)
+    }
+
+    /// Every live key, sorted ascending — the deterministic enumeration
+    /// the engine's replayable surfaces (cluster drains, placement maps)
+    /// are built on. Slot order is a hash-table artifact and is never
+    /// exposed.
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|slot| slot.live)
+            .map(|slot| slot.key)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_pop_roundtrip() {
+        let mut idx = KeyIndex::with_seed(7);
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(5), None);
+        idx.push(5, 40);
+        idx.push(5, 41);
+        assert_eq!(idx.get(5), Some(&[40, 41][..]));
+        assert_eq!(idx.depth(5), 2);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.pop(5), Some(41), "pops are LIFO");
+        assert_eq!(idx.pop(5), Some(40));
+        assert_eq!(idx.pop(5), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn spills_past_inline_and_shrinks_back() {
+        let mut idx = KeyIndex::with_seed(1);
+        for bin in 0..10u64 {
+            idx.push(9, bin);
+        }
+        assert_eq!(idx.get(9).unwrap(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        for bin in (2..10u64).rev() {
+            assert_eq!(idx.pop(9), Some(bin));
+        }
+        // Back inside the inline regime, contents intact.
+        assert_eq!(idx.get(9), Some(&[0, 1][..]));
+        assert_eq!(idx.pop(9), Some(1));
+        assert_eq!(idx.pop(9), Some(0));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        let mut idx = KeyIndex::with_seed(3);
+        for key in 0..1000u64 {
+            idx.push(key, key * 2);
+            idx.push(key, key * 2 + 1);
+        }
+        assert_eq!(idx.len(), 1000);
+        for key in 0..1000u64 {
+            assert_eq!(idx.get(key), Some(&[key * 2, key * 2 + 1][..]));
+        }
+        // Delete every third key entirely; the rest must stay reachable
+        // through the backward-shifted probe runs.
+        for key in (0..1000u64).step_by(3) {
+            assert_eq!(idx.pop(key), Some(key * 2 + 1));
+            assert_eq!(idx.pop(key), Some(key * 2));
+        }
+        for key in 0..1000u64 {
+            if key % 3 == 0 {
+                assert_eq!(idx.get(key), None);
+            } else {
+                assert_eq!(idx.depth(key), 2, "key {key} lost after deletes");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_keys_is_ascending_and_seed_independent() {
+        let mut a = KeyIndex::with_seed(11);
+        let mut b = KeyIndex::with_seed(987_654_321);
+        for key in [9u64, 1, 500, 3, 77, 42] {
+            a.push(key, 0);
+            b.push(key, 0);
+        }
+        assert_eq!(a.sorted_keys(), vec![1, 3, 9, 42, 77, 500]);
+        assert_eq!(a.sorted_keys(), b.sorted_keys());
+    }
+}

@@ -103,6 +103,7 @@
 mod channel;
 pub mod cluster;
 mod engine;
+pub mod index;
 mod metrics;
 mod op;
 pub mod rounds;
@@ -114,6 +115,7 @@ pub use cluster::{
     Cluster, ClusterConfig, HashRing, Placement, RebalanceMode, RebalanceReport, NODE_VNODES,
 };
 pub use engine::{route, ChoiceMode, ConfigError, Engine, EngineConfig, IngestMode, WorkerMode};
+pub use index::KeyIndex;
 pub use metrics::{EngineStats, OnlinePercentiles, OpObservations, ShardStats};
 pub use op::{BatchSummary, Op};
 pub use rounds::RoundReport;

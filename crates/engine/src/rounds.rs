@@ -45,9 +45,9 @@
 //! `TieBreak` are ignored: choices are always keyed off the rounds salt
 //! and ties always break by key hash.
 
+use crate::index::KeyIndex;
 use ba_hash::ChoiceScheme;
 use ba_rng::{SeedSequence, SplitMix64};
-use std::collections::HashMap;
 
 /// Child index reserved for deriving the engine-wide rounds salt.
 /// Deliberately *not* a function of any shard id: the salt (and with it
@@ -116,7 +116,7 @@ pub(crate) struct RoundsState<S> {
     /// The engine-wide rounds salt (see [`ROUNDS_SALT_CHILD`]).
     pub(crate) salt: u64,
     /// key -> stack of *global* bins holding that key's balls (LIFO).
-    pub(crate) index: HashMap<u64, Vec<u64>>,
+    pub(crate) index: KeyIndex,
     /// Everything resolved so far.
     pub(crate) report: RoundReport,
 }
@@ -135,12 +135,15 @@ impl<S: ChoiceScheme> RoundsState<S> {
             shards as u64 * bins_per_shard,
             "rounds scheme must span the global bin space"
         );
+        let salt = SeedSequence::new(seed)
+            .child(ROUNDS_SALT_CHILD)
+            .derive_u64();
         Self {
             scheme,
-            salt: SeedSequence::new(seed)
-                .child(ROUNDS_SALT_CHILD)
-                .derive_u64(),
-            index: HashMap::new(),
+            salt,
+            // Salt-seeded like the shard indexes: deterministic probe
+            // order, sorted enumeration on every observable surface.
+            index: KeyIndex::with_seed(salt),
             report: RoundReport::default(),
         }
     }

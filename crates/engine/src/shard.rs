@@ -1,24 +1,37 @@
 //! One shard: a bin table, its key index, and its choice source.
 
 use crate::engine::{ChoiceMode, EngineConfig};
+use crate::index::KeyIndex;
 use crate::metrics::OpObservations;
 use crate::op::{BatchSummary, Op};
 use crate::rounds::{Proposal, Winner};
 use ba_core::{Allocation, TieBreak};
 use ba_hash::{ChoiceScheme, ChoiceSource};
 use ba_rng::{AnyRng, SeedSequence};
-use std::collections::HashMap;
 
 /// Child index reserved for deriving a shard's keyed salt, domain-
 /// separated from the shard's RNG stream (which uses the node itself).
 const SALT_CHILD: u64 = 0x5A17;
 
+/// Keys per `choices_for_batch` call on the batched keyed insert path:
+/// large enough to amortize dispatch, small enough that the choice
+/// matrix stays in L1.
+const INSERT_RUN_CHUNK: usize = 128;
+
+/// Runs shorter than this stay on the per-op insert path: gathering
+/// keys, sizing the matrix, and dispatching the batch kernel cost more
+/// than the kernel saves on a handful of keys. Lookup- or delete-heavy
+/// streams break runs constantly, so without this floor batching would
+/// tax exactly the workloads it cannot help.
+const INSERT_RUN_MIN: usize = 16;
+
 /// A single-threaded slice of the engine's keyspace.
 ///
-/// The shard owns an [`Allocation`] over its scheme's bins, an index from
-/// key to the bins currently holding that key's balls, and a deterministic
-/// RNG stream derived from `SeedSequence::new(seed).child(shard_id)` in
-/// the configured [`ba_rng::RngKind`].
+/// The shard owns an [`Allocation`] over its scheme's bins, a
+/// [`KeyIndex`] from key to the bins currently holding that key's balls,
+/// and a deterministic RNG stream derived from
+/// `SeedSequence::new(seed).child(shard_id)` in the configured
+/// [`ba_rng::RngKind`].
 ///
 /// Choice vectors come from the configured [`ChoiceMode`]:
 ///
@@ -30,7 +43,10 @@ const SALT_CHILD: u64 = 0x5A17;
 /// * **Keyed** — choices derive from `hash(key, shard_salt)` (the
 ///   hash-table model): deleting and re-inserting a key replays its exact
 ///   `f + k·g` probe sequence, and the RNG stream is consumed only by
-///   random tie-breaks.
+///   random tie-breaks. Because keyed choices consume no stream
+///   randomness, [`Shard::apply`] generates them in batches
+///   ([`ChoiceScheme::choices_for_batch`]) across each run of consecutive
+///   inserts — bit-identical to the per-op path, just faster.
 ///
 /// Either way the determinism contract mirrors `ba_core::runner`: a
 /// shard's final state is a pure function of `(config, shard_id, ordered
@@ -45,8 +61,13 @@ pub struct Shard<S> {
     mode: ChoiceMode,
     salt: u64,
     /// key -> stack of bins holding that key's balls (LIFO delete order).
-    index: HashMap<u64, Vec<u64>>,
+    index: KeyIndex,
     choices: Vec<u64>,
+    /// Scratch for the batched keyed insert path: the current run's keys.
+    batch_keys: Vec<u64>,
+    /// Scratch for the batched keyed insert path: the choice matrix
+    /// (row i = choices for the run's i-th key).
+    batch_choices: Vec<u64>,
     lifetime: BatchSummary,
     observed: OpObservations,
 }
@@ -58,6 +79,7 @@ impl<S: ChoiceScheme> Shard<S> {
         let alloc = Allocation::new(scheme.n());
         let d = scheme.d();
         let node = SeedSequence::new(config.seed).child(id as u64);
+        let salt = node.child(SALT_CHILD).derive_u64();
         Self {
             id,
             scheme,
@@ -65,9 +87,14 @@ impl<S: ChoiceScheme> Shard<S> {
             tie: config.tie,
             rng: node.any_rng(config.rng),
             mode: config.mode,
-            salt: node.child(SALT_CHILD).derive_u64(),
-            index: HashMap::new(),
+            salt,
+            // Seeding the index's probe order from the salt keeps its
+            // internals deterministic per shard; enumeration always goes
+            // through the sorted surface regardless.
+            index: KeyIndex::with_seed(salt),
             choices: vec![0u64; d],
+            batch_keys: Vec::new(),
+            batch_choices: Vec::new(),
             lifetime: BatchSummary::default(),
             observed: OpObservations::default(),
         }
@@ -109,14 +136,22 @@ impl<S: ChoiceScheme> Shard<S> {
     /// The probe sequence `key` would use in keyed mode — a pure function
     /// of `(key, shard salt)`, independent of the shard's current state.
     pub fn probes_for(&self, key: u64) -> Vec<u64> {
-        let mut out = vec![0u64; self.scheme.d()];
-        self.scheme.choices_for(key, self.salt, &mut out);
+        let mut out = Vec::new();
+        self.probes_into(key, &mut out);
         out
+    }
+
+    /// Like [`Shard::probes_for`], but writing into a caller-owned buffer
+    /// (resized to `d`) so loops over many keys — cluster rebalance
+    /// drains, placement annotation — reuse one allocation.
+    pub fn probes_into(&self, key: u64, out: &mut Vec<u64>) {
+        out.resize(self.scheme.d(), 0);
+        self.scheme.choices_for(key, self.salt, out);
     }
 
     /// The bins currently holding balls for `key`, oldest first.
     pub fn bins_of(&self, key: u64) -> Option<&[u64]> {
-        self.index.get(&key).map(Vec::as_slice)
+        self.index.get(key)
     }
 
     /// Number of distinct keys with at least one live ball.
@@ -125,13 +160,11 @@ impl<S: ChoiceScheme> Shard<S> {
     }
 
     /// Every key with at least one live ball, sorted ascending. The sort
-    /// makes the enumeration deterministic (the index is a `HashMap`), so
-    /// callers that replay the result — cluster rebalance drains, the
+    /// makes the enumeration deterministic (the index is a hash table),
+    /// so callers that replay the result — cluster rebalance drains, the
     /// placement map — are reproducible run to run.
     pub fn live_key_ids(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.index.keys().copied().collect();
-        keys.sort_unstable();
-        keys
+        self.index.sorted_keys()
     }
 
     /// Operation counters accumulated over the shard's lifetime.
@@ -144,31 +177,79 @@ impl<S: ChoiceScheme> Shard<S> {
         &self.observed
     }
 
-    /// Places one ball for `key`; returns the chosen bin.
-    pub fn insert(&mut self, key: u64) -> u64 {
-        self.source()
-            .fill(&self.scheme, key, &mut self.rng, &mut self.choices);
-        let bin = self.alloc.place(&self.choices, self.tie, &mut self.rng);
-        let probe = self
-            .choices
-            .iter()
-            .position(|&c| c == bin)
-            .expect("place returns one of the offered choices");
+    /// Places an already-derived choice vector for `key`: tie-break,
+    /// record observations, index the ball. Shared by the per-op and
+    /// batched insert paths so both produce identical state and stats.
+    #[inline]
+    fn place_and_record(&mut self, key: u64, choices: &[u64]) -> u64 {
+        // FirstOffered traffic skips the `dyn Rng64` argument entirely
+        // (monomorphized fast path); the general path consumes the RNG
+        // exactly as before for random tie-breaks.
+        let (bin, probe) = match self.tie {
+            TieBreak::FirstOffered => self.alloc.place_first_offered(choices),
+            tie => self.alloc.place_indexed(choices, tie, &mut self.rng),
+        };
         self.observed.insert_load.record(self.alloc.load(bin));
-        self.observed.insert_probe.record(probe as u32);
-        self.index.entry(key).or_default().push(bin);
+        self.observed.insert_probe.record(probe);
+        self.index.push(key, bin);
         self.lifetime.inserts += 1;
         bin
     }
 
+    /// Places one ball for `key`; returns the chosen bin.
+    pub fn insert(&mut self, key: u64) -> u64 {
+        let mut choices = std::mem::take(&mut self.choices);
+        self.source()
+            .fill(&self.scheme, key, &mut self.rng, &mut choices);
+        let bin = self.place_and_record(key, &choices);
+        self.choices = choices;
+        bin
+    }
+
+    /// Places a run of consecutive keyed inserts through the batched
+    /// choice kernel: one [`ChoiceScheme::choices_for_batch`] dispatch
+    /// per [`INSERT_RUN_CHUNK`] keys, falling back to per-op inserts
+    /// for runs under [`INSERT_RUN_MIN`]. Sound only in keyed mode,
+    /// where choice derivation consumes no RNG — placements, tie-break
+    /// draws, and observation order are bit-identical to per-op inserts.
+    fn insert_run_keyed(&mut self, from: &[Op]) -> usize {
+        let run = from
+            .iter()
+            .take_while(|op| matches!(op, Op::Insert(_)))
+            .count();
+        if run < INSERT_RUN_MIN {
+            for op in &from[..run] {
+                if let Op::Insert(key) = *op {
+                    self.insert(key);
+                }
+            }
+            return run;
+        }
+        let mut keys = std::mem::take(&mut self.batch_keys);
+        keys.clear();
+        keys.extend(from[..run].iter().map(|op| match *op {
+            Op::Insert(key) => key,
+            _ => unreachable!("counted as part of the insert run above"),
+        }));
+        let d = self.scheme.d();
+        let mut matrix = std::mem::take(&mut self.batch_choices);
+        for chunk in keys.chunks(INSERT_RUN_CHUNK) {
+            matrix.resize(chunk.len() * d, 0);
+            self.scheme.choices_for_batch(chunk, self.salt, &mut matrix);
+            for (i, &key) in chunk.iter().enumerate() {
+                self.place_and_record(key, &matrix[i * d..(i + 1) * d]);
+            }
+        }
+        let run = keys.len();
+        self.batch_keys = keys;
+        self.batch_choices = matrix;
+        run
+    }
+
     /// Removes the most recent ball for `key`; returns its bin if present.
     pub fn delete(&mut self, key: u64) -> Option<u64> {
-        match self.index.get_mut(&key) {
-            Some(bins) => {
-                let bin = bins.pop().expect("index never holds empty stacks");
-                if bins.is_empty() {
-                    self.index.remove(&key);
-                }
+        match self.index.pop(key) {
+            Some(bin) => {
                 self.observed.delete_load.record(self.alloc.load(bin));
                 self.alloc.remove(bin);
                 self.lifetime.deletes += 1;
@@ -184,7 +265,7 @@ impl<S: ChoiceScheme> Shard<S> {
     /// Whether any ball for `key` is live.
     pub fn lookup(&mut self, key: u64) -> bool {
         self.lifetime.lookups += 1;
-        let depth = self.index.get(&key).map_or(0, Vec::len);
+        let depth = self.index.depth(key);
         self.observed.lookup_depth.record(depth as u32);
         let hit = depth > 0;
         if hit {
@@ -221,12 +302,11 @@ impl<S: ChoiceScheme> Shard<S> {
 
     /// Places one round-resolved ball into `bin`, recording the same
     /// insert observations sequential ingestion would. A single offered
-    /// choice under [`TieBreak::FirstOffered`] consumes no randomness.
+    /// choice placed first-offered consumes no randomness.
     /// The shard's key index is deliberately not touched — rounds mode
     /// keeps a global index (bins are global there, not shard-local).
     fn rounds_insert(&mut self, bin: u64, probe: u8) {
-        self.alloc
-            .place(&[bin], TieBreak::FirstOffered, &mut self.rng);
+        self.alloc.place_first_offered(&[bin]);
         self.observed.insert_load.record(self.alloc.load(bin));
         self.observed.insert_probe.record(u32::from(probe));
         self.lifetime.inserts += 1;
@@ -256,18 +336,41 @@ impl<S: ChoiceScheme> Shard<S> {
     }
 
     /// Applies an ordered op sequence, returning this batch's summary.
+    ///
+    /// In keyed mode, runs of consecutive inserts route through the
+    /// batched choice kernel (`Shard::insert_run_keyed`); stream mode
+    /// keeps the strict per-op path, because pre-generating a run's
+    /// stream choices would reorder RNG draws relative to interleaved
+    /// random tie-breaks and change placements.
     pub fn apply(&mut self, ops: &[Op]) -> BatchSummary {
         let before = self.lifetime;
-        for &op in ops {
-            match op {
-                Op::Insert(k) => {
-                    self.insert(k);
+        if self.mode == ChoiceMode::Keyed {
+            let mut i = 0;
+            while i < ops.len() {
+                match ops[i] {
+                    Op::Insert(_) => i += self.insert_run_keyed(&ops[i..]),
+                    Op::Delete(k) => {
+                        self.delete(k);
+                        i += 1;
+                    }
+                    Op::Lookup(k) => {
+                        self.lookup(k);
+                        i += 1;
+                    }
                 }
-                Op::Delete(k) => {
-                    self.delete(k);
-                }
-                Op::Lookup(k) => {
-                    self.lookup(k);
+            }
+        } else {
+            for &op in ops {
+                match op {
+                    Op::Insert(k) => {
+                        self.insert(k);
+                    }
+                    Op::Delete(k) => {
+                        self.delete(k);
+                    }
+                    Op::Lookup(k) => {
+                        self.lookup(k);
+                    }
                 }
             }
         }
@@ -405,6 +508,17 @@ mod tests {
     }
 
     #[test]
+    fn probes_into_reuses_buffer_and_matches_probes_for() {
+        let s = keyed_shard(12);
+        let mut buf = vec![999u64; 17];
+        for key in 0..64u64 {
+            s.probes_into(key, &mut buf);
+            assert_eq!(buf, s.probes_for(key), "key {key}");
+            assert_eq!(buf.len(), 3);
+        }
+    }
+
+    #[test]
     fn rng_kind_selects_the_stream() {
         let scheme = DoubleHashing::new(64, 3);
         let xo = Shard::new(0, scheme.clone(), &config(9));
@@ -450,6 +564,56 @@ mod tests {
             Op::Lookup(7),
         ]);
         assert_eq!(a.allocation().loads(), b.allocation().loads());
+    }
+
+    #[test]
+    fn keyed_apply_batches_bit_identically() {
+        // The batched keyed insert path (runs > INSERT_RUN_CHUNK, runs
+        // broken by deletes/lookups, short tails) must match per-op
+        // inserts exactly: placements, index, counters, observations.
+        let mut batched = keyed_shard(21);
+        let mut reference = keyed_shard(21);
+        let mut ops = Vec::new();
+        for key in 0..300u64 {
+            ops.push(Op::Insert(key));
+        }
+        ops.push(Op::Lookup(5));
+        ops.push(Op::Delete(7));
+        for key in 300..305u64 {
+            ops.push(Op::Insert(key));
+        }
+        ops.push(Op::Delete(11));
+        ops.push(Op::Insert(7));
+        let summary = batched.apply(&ops);
+        for &op in &ops {
+            match op {
+                Op::Insert(k) => {
+                    reference.insert(k);
+                }
+                Op::Delete(k) => {
+                    reference.delete(k);
+                }
+                Op::Lookup(k) => {
+                    reference.lookup(k);
+                }
+            }
+        }
+        assert_eq!(summary, *reference.lifetime_summary());
+        assert_eq!(batched.allocation().loads(), reference.allocation().loads());
+        assert_eq!(batched.live_key_ids(), reference.live_key_ids());
+        let (b, r) = (batched.observations(), reference.observations());
+        assert_eq!(b.insert_load.count(), r.insert_load.count());
+        assert_eq!(b.insert_probe.count(), r.insert_probe.count());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(b.insert_load.percentile(q), r.insert_load.percentile(q));
+            assert_eq!(b.insert_probe.percentile(q), r.insert_probe.percentile(q));
+        }
+        // And the O(1) tracker still agrees with a full scan after the
+        // batched churn.
+        assert_eq!(
+            batched.allocation().max_load(),
+            batched.allocation().scanned_max_load()
+        );
     }
 
     #[test]

@@ -110,6 +110,20 @@ impl ChoiceScheme for AnyScheme {
             Self::OneChoice(s) => s.choices_for(key, salt, out),
         }
     }
+
+    #[inline]
+    fn choices_for_batch(&self, keys: &[u64], salt: u64, out: &mut [u64]) {
+        // One dispatch for the whole batch: the inner scheme's batch
+        // kernel (hand-unrolled for double hashing) runs monomorphized.
+        match self {
+            Self::FullyRandom(s) => s.choices_for_batch(keys, salt, out),
+            Self::DoubleHashing(s) => s.choices_for_batch(keys, salt, out),
+            Self::Blocks(s) => s.choices_for_batch(keys, salt, out),
+            Self::DLeftRandom(s) => s.choices_for_batch(keys, salt, out),
+            Self::DLeftDouble(s) => s.choices_for_batch(keys, salt, out),
+            Self::OneChoice(s) => s.choices_for_batch(keys, salt, out),
+        }
+    }
 }
 
 #[cfg(test)]

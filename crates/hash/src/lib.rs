@@ -155,6 +155,32 @@ pub trait ChoiceScheme: Send + Sync {
         self.fill_choices(&mut rng, out);
     }
 
+    /// Writes the keyed choices for a whole batch of keys into a flat
+    /// row-major matrix: row `i` — `out[i * d .. (i + 1) * d]` — holds
+    /// the choices for `keys[i]`.
+    ///
+    /// **Bit-identical by contract** to calling
+    /// [`ChoiceScheme::choices_for`] once per key: the batch form exists
+    /// purely so hot loops can amortize dispatch and give the compiler
+    /// independent derivations to overlap (see the hand-unrolled
+    /// [`DoubleHashing`] override). The default
+    /// implementation is the per-key loop.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != keys.len() * self.d()`.
+    fn choices_for_batch(&self, keys: &[u64], salt: u64, out: &mut [u64]) {
+        let d = self.d();
+        assert_eq!(
+            out.len(),
+            keys.len() * d,
+            "matrix must hold keys.len() * d choices"
+        );
+        for (&key, row) in keys.iter().zip(out.chunks_exact_mut(d.max(1))) {
+            self.choices_for(key, salt, row);
+        }
+    }
+
     /// Convenience wrapper returning the choices as a fresh vector.
     ///
     /// Test/analysis code only — hot loops should reuse a buffer through
@@ -178,6 +204,9 @@ impl<S: ChoiceScheme + ?Sized> ChoiceScheme for &S {
     }
     fn choices_for(&self, key: u64, salt: u64, out: &mut [u64]) {
         (**self).choices_for(key, salt, out)
+    }
+    fn choices_for_batch(&self, keys: &[u64], salt: u64, out: &mut [u64]) {
+        (**self).choices_for_batch(keys, salt, out)
     }
 }
 

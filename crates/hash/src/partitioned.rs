@@ -91,6 +91,16 @@ impl<S: ChoiceScheme> ChoiceScheme for Partitioned<S> {
         self.inner.choices_for(key, salt, out);
         self.offset_into_subtables(out);
     }
+
+    fn choices_for_batch(&self, keys: &[u64], salt: u64, out: &mut [u64]) {
+        // The inner scheme's batch kernel fills the whole matrix, then
+        // each row shifts into the subtable layout.
+        self.inner.choices_for_batch(keys, salt, out);
+        let d = self.inner.d();
+        for row in out.chunks_exact_mut(d) {
+            self.offset_into_subtables(row);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,72 @@
+//! Property tests: [`ChoiceScheme::choices_for_batch`] is bit-identical
+//! to per-key [`ChoiceScheme::choices_for`] for every scheme — the
+//! contract the engine's batched insert path and rounds probe derivation
+//! rely on. Covers the trait's default loop, the hand-unrolled
+//! `DoubleHashing` override (including its 4-wide main loop and its
+//! remainder tail), the `AnyScheme` dispatch, and the `Partitioned`
+//! row-offset pass.
+
+use ba_hash::{AnyScheme, ChoiceScheme};
+use proptest::prelude::*;
+
+proptest! {
+    /// For every named scheme and any (n, d, salt, key set), the batch
+    /// kernel's matrix equals d-at-a-time per-key derivation, row by row.
+    #[test]
+    fn batch_kernel_matches_per_key_choices(
+        scheme_idx in 0usize..7,
+        d in 1usize..=4,
+        m in 2u64..64,
+        salt in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let name = AnyScheme::names()[scheme_idx];
+        // n = d·m keeps every constraint satisfiable at once: divisible
+        // by d for the dleft layouts, subtables of m ≥ 2 bins for the
+        // double-hashing stride, d ≤ n everywhere. Per-scheme d floors:
+        // "one" is unary by definition, blocks needs two blocks.
+        let d = match name {
+            "one" => 1,
+            "blocks" => d.max(2),
+            _ => d,
+        };
+        // The dleft layouts make d choices over m-bin subtables: m ≥ d.
+        let m = m.max(d as u64);
+        let n = d as u64 * m;
+        let scheme = AnyScheme::by_name(name, n, d).expect("listed name parses");
+        let mut batch = vec![0u64; keys.len() * d];
+        scheme.choices_for_batch(&keys, salt, &mut batch);
+        let mut row = vec![0u64; d];
+        for (i, &key) in keys.iter().enumerate() {
+            scheme.choices_for(key, salt, &mut row);
+            prop_assert_eq!(
+                &batch[i * d..(i + 1) * d],
+                row.as_slice(),
+                "{} n={} d={} key {} (row {})",
+                name, n, d, key, i
+            );
+        }
+    }
+
+    /// The quad-unrolled double-hashing kernel in particular must agree
+    /// at every batch length around the unroll width (0..4 remainder).
+    #[test]
+    fn double_hashing_unroll_boundaries_agree(
+        d in 1usize..=6,
+        m in 2u64..512,
+        salt in any::<u64>(),
+        base in any::<u64>(),
+        len in 0usize..12,
+    ) {
+        let n = d as u64 * m;
+        let scheme = AnyScheme::by_name("double", n, d).expect("double parses");
+        let keys: Vec<u64> = (0..len as u64).map(|i| base.wrapping_add(i)).collect();
+        let mut batch = vec![0u64; len * d];
+        scheme.choices_for_batch(&keys, salt, &mut batch);
+        let mut row = vec![0u64; d];
+        for (i, &key) in keys.iter().enumerate() {
+            scheme.choices_for(key, salt, &mut row);
+            prop_assert_eq!(&batch[i * d..(i + 1) * d], row.as_slice(), "len {} row {}", len, i);
+        }
+    }
+}

@@ -493,12 +493,13 @@ mod tests {
         let report = drive(&mut engine, workload.as_mut(), 50_000, 1_024);
         assert_eq!(report.summary.missed_deletes, 0);
         let mut checked = 0u64;
+        let mut probes = Vec::new();
         for shard in engine.shards() {
             for key in 0..512u64 {
                 let Some(bins) = shard.bins_of(key) else {
                     continue;
                 };
-                let probes = shard.probes_for(key);
+                shard.probes_into(key, &mut probes);
                 for &bin in bins {
                     assert!(
                         probes.contains(&bin),
@@ -520,12 +521,13 @@ mod tests {
         let mut workload = Scenario::Adversarial.build(512, 77);
         drive(&mut engine, workload.as_mut(), 50_000, 1_024);
         let mut outside = 0u64;
+        let mut probes = Vec::new();
         for shard in engine.shards() {
             for key in 0..512u64 {
                 let Some(bins) = shard.bins_of(key) else {
                     continue;
                 };
-                let probes = shard.probes_for(key);
+                shard.probes_into(key, &mut probes);
                 outside += bins.iter().filter(|b| !probes.contains(b)).count() as u64;
             }
         }

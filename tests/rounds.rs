@@ -173,6 +173,40 @@ fn rounds_max_load_tracks_sequential_d_choice_on_golden_corpus() {
 }
 
 #[test]
+fn incremental_max_load_tracker_matches_full_scan_on_golden_corpus() {
+    // The O(1) max-load tracker (occupancy counters inside
+    // `Allocation`) against a full load scan, after serving each golden
+    // capture through both rounds ingestion and sequential keyed
+    // serving — the insert/delete churn paths CI gates on.
+    for scenario in Scenario::all() {
+        let file = ReplayFile::open(golden_path(&scenario)).expect("golden file decodes");
+        let ops: Vec<Op> = file.ops().to_vec();
+
+        let mut rounds =
+            Engine::by_name("double", rounds_config(4, WorkerMode::Persistent, 2)).unwrap();
+        rounds.serve(&ops, BATCH);
+        let mut sequential = Engine::by_name(
+            "double",
+            EngineConfig::new(4, 256, 3).seed(GOLDEN_SEED).keyed(),
+        )
+        .unwrap();
+        sequential.serve(&ops, BATCH);
+
+        for engine in [&rounds, &sequential] {
+            for shard in engine.shards() {
+                assert_eq!(
+                    shard.allocation().max_load(),
+                    shard.allocation().scanned_max_load(),
+                    "{}: shard {} tracker diverged from scan",
+                    scenario.name(),
+                    shard.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn drive_through_rounds_matches_direct_serve_on_golden_capture() {
     // The workload driver and direct serve agree on rounds engines, so
     // `run_scenario`/`drive` reports describe the same allocation the
